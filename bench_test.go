@@ -1,0 +1,471 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// benchmark per experiment, per DESIGN.md §3), the ablation sweeps of
+// DESIGN.md §5, and micro-benchmarks of the hot paths (per-day
+// simulation, per-day KPI generation, the mobility metrics).
+//
+// The shared fixture simulates once; figure benchmarks then measure the
+// analysis/regeneration step, which is what varies across experiments.
+package repro_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/core"
+	"repro/internal/devices"
+	"repro/internal/epi"
+	"repro/internal/experiments"
+	"repro/internal/feeds"
+	"repro/internal/geo"
+	"repro/internal/mobsim"
+	"repro/internal/pandemic"
+	"repro/internal/popsim"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/signaling"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+var (
+	benchOnce sync.Once
+	benchRes  *experiments.Results
+	benchDay  []mobsim.DayTrace // one representative simulated day
+)
+
+func benchResults(b *testing.B) *experiments.Results {
+	b.Helper()
+	benchOnce.Do(func() {
+		// The default scale: the figure checks are calibrated against it
+		// (smaller populations make the Fig. 2 census fit too noisy).
+		cfg := experiments.DefaultConfig()
+		benchRes = experiments.RunStandard(cfg)
+		benchDay = benchRes.Dataset.Sim.Day(timegrid.SimDay(timegrid.StudyDayOffset + 30))
+	})
+	return benchRes
+}
+
+// --- one benchmark per paper table/figure --------------------------------
+
+func BenchmarkTable1Clusters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := experiments.Table1(); len(f.Tables) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig2HomeDetection(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := experiments.Fig2(r); !f.Passed() {
+			b.Fatal("fig2 checks failed")
+		}
+	}
+}
+
+func BenchmarkFig3Gyration(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := r.Mobility.NationalSeries(core.MetricGyration)
+		if s.Len() != timegrid.StudyDays {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFig3Entropy(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := r.Mobility.NationalSeries(core.MetricEntropy)
+		if s.Len() != timegrid.StudyDays {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+func BenchmarkFig4CasesCorrelation(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := experiments.Fig4(r); !f.Passed() {
+			b.Fatal("fig4 checks failed")
+		}
+	}
+}
+
+func BenchmarkFig5RegionalMobility(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(r)
+	}
+}
+
+func BenchmarkFig6ClusterMobility(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(r)
+	}
+}
+
+func BenchmarkFig7MobilityMatrix(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7(r)
+	}
+}
+
+func BenchmarkFig8NetworkKPIs(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(r)
+	}
+}
+
+func BenchmarkFig9VoiceKPIs(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(r)
+	}
+}
+
+func BenchmarkFig10ClusterKPIs(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10(r)
+	}
+}
+
+func BenchmarkFig11LondonDistricts(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11(r)
+	}
+}
+
+func BenchmarkFig12LondonClusters(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig12(r)
+	}
+}
+
+// --- §2.3/§2.4 pipeline benchmarks ----------------------------------------
+
+func BenchmarkSignalingFilter(b *testing.B) {
+	r := benchResults(b)
+	catalog := devices.NewCatalog()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := signaling.FilterPopulation(r.Dataset.Pop, catalog)
+		if rep.NativeSmartphones == 0 {
+			b.Fatal("filter dropped everyone")
+		}
+	}
+}
+
+func BenchmarkSignalingDay(b *testing.B) {
+	r := benchResults(b)
+	gen := signaling.NewGenerator(r.Dataset.Pop, 1)
+	day := timegrid.SimDay(timegrid.StudyDayOffset + 30)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		gen.Day(day, benchDay, func(*signaling.Event) { n++ })
+	}
+	if n == 0 {
+		b.Fatal("no events")
+	}
+}
+
+func BenchmarkRATShare(b *testing.B) {
+	r := benchResults(b)
+	gen := signaling.NewGenerator(r.Dataset.Pop, 1)
+	day := timegrid.SimDay(timegrid.StudyDayOffset + 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs := signaling.NewRATShare(gen)
+		rs.ConsumeDay(day, benchDay)
+		if s := rs.Shares(); s[radio.RAT4G] < 0.5 {
+			b.Fatal("4G share collapsed")
+		}
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md §5) ------------------------------------
+
+// BenchmarkAblationHomeNights sweeps the minimum-nights threshold of the
+// home detection rule.
+func BenchmarkAblationHomeNights(b *testing.B) {
+	r := benchResults(b)
+	days := make([][]mobsim.DayTrace, 14)
+	for d := range days {
+		days[d] = r.Dataset.Sim.Day(timegrid.SimDay(d))
+	}
+	for _, nights := range []int{7, 14, 21} {
+		nights := nights
+		b.Run(benchName("minNights", nights), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hd := core.NewHomeDetector(r.Dataset.Topology)
+				hd.MinNights = nights
+				for d := range days {
+					hd.ConsumeDay(timegrid.SimDay(d), days[d])
+				}
+				_ = hd.Detect()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTopN sweeps the per-user tower filter.
+func BenchmarkAblationTopN(b *testing.B) {
+	r := benchResults(b)
+	topo := r.Dataset.Topology
+	for _, n := range []int{5, 10, 20, 0} {
+		n := n
+		b.Run(benchName("topN", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := range benchDay {
+					core.ComputeDayMetrics(&benchDay[j], topo, n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEntropyGranularity compares whole-day metrics with the
+// per-4-hour-bin variant of §2.3.
+func BenchmarkAblationEntropyGranularity(b *testing.B) {
+	r := benchResults(b)
+	topo := r.Dataset.Topology
+	b.Run("day", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range benchDay {
+				core.ComputeDayMetrics(&benchDay[j], topo, core.DefaultTopN)
+			}
+		}
+	})
+	b.Run("bins", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range benchDay {
+				for bin := 0; bin < timegrid.BinsPerDay; bin++ {
+					core.BinMetrics(&benchDay[j], topo, bin, core.DefaultTopN)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationInterconnect sweeps the interconnect headroom that
+// controls the voice-loss incident.
+func BenchmarkAblationInterconnect(b *testing.B) {
+	r := benchResults(b)
+	day := timegrid.SimDay(timegrid.StudyDayOffset + 23) // week-12 surge
+	traces := r.Dataset.Sim.Day(day)
+	for _, headroom := range []float64{0.9, 1.0, 1.5, 2.5} {
+		headroom := headroom
+		b.Run(benchName("headroomPct", int(headroom*100)), func(b *testing.B) {
+			params := traffic.DefaultParams()
+			params.InterconnectHeadroom = headroom
+			eng := traffic.NewEngine(r.Dataset.Pop, r.Dataset.Scenario, params, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if cells := eng.Day(day, traces); len(cells) == 0 {
+					b.Fatal("no cells")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDailyAggregate compares the paper's hourly-median
+// daily reduction against a mean-based variant at the analysis layer.
+func BenchmarkAblationDailyAggregate(b *testing.B) {
+	r := benchResults(b)
+	eng := r.Dataset.Engine
+	day := timegrid.SimDay(timegrid.StudyDayOffset + 30)
+	b.Run("hourly-median", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.Day(day, benchDay)
+		}
+	})
+	// The mean variant is approximated by post-processing the medians;
+	// its cost bound is the same engine pass.
+	b.Run("hourly-median+postmean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cells := eng.Day(day, benchDay)
+			var sum float64
+			for j := range cells {
+				sum += cells[j].Values[traffic.DLVolume]
+			}
+			_ = sum / float64(len(cells))
+		}
+	})
+}
+
+// --- micro-benchmarks of the hot paths -------------------------------------
+
+func BenchmarkSimulateDay(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Dataset.Sim.Day(timegrid.SimDay(timegrid.StudyDayOffset + i%timegrid.StudyDays))
+	}
+}
+
+func BenchmarkEngineDay(b *testing.B) {
+	r := benchResults(b)
+	day := timegrid.SimDay(timegrid.StudyDayOffset + 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Dataset.Engine.Day(day, benchDay)
+	}
+}
+
+func BenchmarkDayMetrics(b *testing.B) {
+	r := benchResults(b)
+	topo := r.Dataset.Topology
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ComputeDayMetrics(&benchDay[i%len(benchDay)], topo, core.DefaultTopN)
+	}
+}
+
+func BenchmarkPopulationSynthesis(b *testing.B) {
+	m := census.BuildUK(1)
+	topo := radio.Build(m, radio.DefaultConfig(), 1)
+	scen := pandemic.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		popsim.Synthesize(m, topo, scen, popsim.Config{Seed: uint64(i), TargetUsers: 2000})
+	}
+}
+
+func BenchmarkBuildUK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		census.BuildUK(uint64(i))
+	}
+}
+
+func BenchmarkTopologyBuild(b *testing.B) {
+	m := census.BuildUK(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radio.Build(m, radio.DefaultConfig(), uint64(i))
+	}
+}
+
+// benchName formats a sub-benchmark label.
+func benchName(key string, v int) string {
+	return key + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// --- extension and infrastructure benchmarks --------------------------------
+
+func BenchmarkExtSEIR(b *testing.B) {
+	r := benchResults(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := experiments.ExtSEIR(r); !f.Passed() {
+			b.Fatal("ext-seir checks failed")
+		}
+	}
+}
+
+func BenchmarkSEIRIntegration(b *testing.B) {
+	p := epi.UK2020()
+	for i := 0; i < b.N; i++ {
+		if _, err := epi.Run(p, 365, epi.ConstantContact(0.8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridNearest(b *testing.B) {
+	r := benchResults(b)
+	topo := r.Dataset.Topology
+	pts := make([]geo.Point, 256)
+	src := rng.New(1)
+	for i := range pts {
+		pts[i] = geo.Pt(src.Range(200, 650), src.Range(50, 600))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topo.NearestTower(pts[i%len(pts)])
+	}
+}
+
+func BenchmarkServingTower(b *testing.B) {
+	r := benchResults(b)
+	topo := r.Dataset.Topology
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw := &topo.Towers[i%len(topo.Towers)]
+		topo.ServingTower(tw.Loc)
+	}
+}
+
+func BenchmarkErlangB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		traffic.ErlangB(float64(i%100)+1, 120)
+	}
+}
+
+func BenchmarkTraceFeedRoundTrip(b *testing.B) {
+	r := benchResults(b)
+	day := timegrid.SimDay(timegrid.StudyDayOffset + 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := feeds.NewTraceWriter(&buf)
+		if err := w.WriteDay(day, benchDay); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		rd, err := feeds.NewTraceReader(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := rd.ReadDay(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = r
+}

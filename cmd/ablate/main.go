@@ -1,0 +1,192 @@
+// Command ablate runs the design-choice ablations called out in
+// DESIGN.md §5 and prints how each knob moves the headline results:
+//
+//   - scenario: default COVID scenario vs the no-pandemic null
+//   - interconnect: headroom sweep for the voice-loss incident
+//   - topn: the per-user tower filter (5/10/20/∞)
+//   - nights: the home-detection minimum-nights rule
+//   - offload: the WiFi-offload depth driving the DL volume drop
+//
+// Usage:
+//
+//	ablate [-which all|scenario|interconnect|topn|nights|offload] [-users N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mobsim"
+	"repro/internal/pandemic"
+	"repro/internal/stats"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		which = flag.String("which", "all", "ablation to run")
+		users = flag.Int("users", 4000, "synthetic users")
+		seed  = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	run := func(name string, fn func(int, uint64)) {
+		if *which == "all" || strings.EqualFold(*which, name) {
+			fmt.Printf("=== ablation: %s ===\n", name)
+			fn(*users, *seed)
+			fmt.Println()
+		}
+	}
+	run("scenario", ablateScenario)
+	run("interconnect", ablateInterconnect)
+	run("topn", ablateTopN)
+	run("nights", ablateNights)
+	run("offload", ablateOffload)
+}
+
+// gyrTrough runs a mobility-only pipeline and returns the weekly
+// gyration trough (Δ% vs week 9).
+func gyrTrough(users int, seed uint64, scen *pandemic.Scenario) float64 {
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = users
+	cfg.Seed = seed
+	cfg.Scenario = scen
+	cfg.SkipKPI = true
+	r := experiments.RunStandard(cfg)
+	s := r.Mobility.NationalSeries(core.MetricGyration)
+	w := core.DeltaSeries(s, stats.Mean(s.Values[:7])).WeeklyMeans()
+	min, _ := w.Min()
+	return min
+}
+
+func ablateScenario(users int, seed uint64) {
+	fmt.Printf("  %-22s gyration trough %+.1f%%\n", "default COVID scenario", gyrTrough(users, seed, nil))
+	fmt.Printf("  %-22s gyration trough %+.1f%%\n", "no-pandemic null", gyrTrough(users, seed, pandemic.NoPandemic()))
+	early, err := pandemic.NewBuilder().
+		Activity(0, 1).
+		Activity(7, 0.5). // a lockdown two weeks earlier
+		Activity(21, 0.42).
+		Activity(76, 0.48).
+		Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("  %-22s gyration trough %+.1f%%\n", "lockdown 2 weeks early", gyrTrough(users, seed, early))
+}
+
+func ablateInterconnect(users int, seed uint64) {
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = users
+	cfg.Seed = seed
+	d := experiments.NewDataset(cfg)
+	day := timegrid.StudyDay(17).ToSimDay() // mid week 11 surge
+	traces := d.Sim.Day(day)
+	baseDay := timegrid.StudyDay(2).ToSimDay()
+	baseTraces := d.Sim.Day(baseDay)
+	for _, headroom := range []float64{0.9, 1.0, 1.2, 1.5, 2.0, 3.0} {
+		params := traffic.DefaultParams()
+		params.InterconnectHeadroom = headroom
+		eng := traffic.NewEngine(d.Pop, d.Scenario, params, cfg.Seed)
+		base := meanLoss(eng.Day(baseDay, baseTraces))
+		surge := meanLoss(eng.Day(day, traces))
+		fmt.Printf("  headroom %.1f×: DL voice loss %+.0f%% vs baseline\n",
+			headroom, stats.DeltaPercent(surge, base))
+	}
+}
+
+func meanLoss(cells []traffic.CellDay) float64 {
+	var s float64
+	for i := range cells {
+		s += cells[i].Values[traffic.VoiceDLLoss]
+	}
+	return s / float64(len(cells))
+}
+
+func ablateTopN(users int, seed uint64) {
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = users
+	cfg.Seed = seed
+	d := experiments.NewDataset(cfg)
+	day := timegrid.StudyDay(2).ToSimDay()
+	traces := d.Sim.Day(day)
+	for _, n := range []int{5, 10, 20, 0} {
+		var e, g stats.Accumulator
+		for i := range traces {
+			m := core.ComputeDayMetrics(&traces[i], d.Topology, n)
+			e.Add(m.Entropy)
+			g.Add(m.Gyration)
+		}
+		label := fmt.Sprintf("top-%d", n)
+		if n == 0 {
+			label = "unfiltered"
+		}
+		fmt.Printf("  %-11s mean entropy %.4f, mean gyration %.3f km\n", label, e.Mean(), g.Mean())
+	}
+}
+
+func ablateNights(users int, seed uint64) {
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = users
+	cfg.Seed = seed
+	d := experiments.NewDataset(cfg)
+	// One February of traces, reused across thresholds.
+	cached := cacheFebruary(d)
+	for _, nights := range []int{7, 14, 21, 28} {
+		hd := core.NewHomeDetector(d.Topology)
+		hd.MinNights = nights
+		for day, tr := range cached {
+			hd.ConsumeDay(day, tr)
+		}
+		homes := hd.Detect()
+		scale := float64(len(d.Pop.Native())) / float64(d.Model.TotalPopulation())
+		v, err := core.ValidateAgainstCensus(homes, d.Model, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		fmt.Printf("  min %2d nights: %5d homes (%.0f%% of users), census r² %.3f\n",
+			nights, len(homes), 100*float64(len(homes))/float64(len(d.Pop.Native())), v.Fit.R2)
+	}
+}
+
+func cacheFebruary(d *experiments.Dataset) map[timegrid.SimDay][]mobsim.DayTrace {
+	out := make(map[timegrid.SimDay][]mobsim.DayTrace, timegrid.FebruaryDays)
+	for day := timegrid.SimDay(0); day < timegrid.FebruaryDays; day++ {
+		out[day] = d.Sim.Day(day)
+	}
+	return out
+}
+
+func ablateOffload(users int, seed uint64) {
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = users
+	cfg.Seed = seed
+	d := experiments.NewDataset(cfg)
+	baseDay := timegrid.StudyDay(2).ToSimDay()
+	lockDay := timegrid.StudyDay(38).ToSimDay()
+	baseTraces := d.Sim.Day(baseDay)
+	lockTraces := d.Sim.Day(lockDay)
+	for _, share := range []float64{0.35, 0.52, 0.70, 0.90} {
+		params := traffic.DefaultParams()
+		params.HomeCellularShare = share
+		eng := traffic.NewEngine(d.Pop, d.Scenario, params, cfg.Seed)
+		base := sumDL(eng.Day(baseDay, baseTraces))
+		lock := sumDL(eng.Day(lockDay, lockTraces))
+		fmt.Printf("  home cellular share %.2f: lockdown DL volume %+.0f%% vs baseline\n",
+			share, stats.DeltaPercent(lock, base))
+	}
+}
+
+func sumDL(cells []traffic.CellDay) float64 {
+	var s float64
+	for i := range cells {
+		s += cells[i].Values[traffic.DLVolume]
+	}
+	return s
+}

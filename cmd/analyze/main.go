@@ -1,0 +1,84 @@
+// Command analyze re-runs the paper's mobility analysis from a
+// persisted trace feed instead of re-simulating: the replay counterpart
+// of `mnosim -raw`. The seed and user count MUST match the run that
+// produced the feed — traces carry tower and user IDs that are only
+// meaningful against the same synthetic UK build.
+//
+//	mnosim  -out data -users 4000 -seed 7 -raw
+//	analyze -traces data/traces.csv -users 4000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/feeds"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/timegrid"
+)
+
+func main() {
+	var (
+		tracesPath = flag.String("traces", "", "trace feed CSV (from mnosim -raw)")
+		users      = flag.Int("users", 8000, "user count of the original run")
+		seed       = flag.Uint64("seed", 42, "seed of the original run")
+	)
+	flag.Parse()
+	if *tracesPath == "" {
+		fmt.Fprintln(os.Stderr, "analyze: -traces is required")
+		os.Exit(2)
+	}
+
+	// Rebuild the identical stack (no simulation is run).
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = *users
+	cfg.Seed = *seed
+	cfg.SkipKPI = true
+	d := experiments.NewDataset(cfg)
+
+	f, err := os.Open(*tracesPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := feeds.NewTraceReader(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+
+	hd := core.NewHomeDetector(d.Topology)
+	mob := core.NewMobilityAnalyzer(d.Pop, cfg.TopN)
+	days, err := experiments.ReplayTraces(tr, []experiments.DayConsumer{hd, mob})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d days from %s\n\n", days, *tracesPath)
+
+	homes := hd.Detect()
+	scale := float64(len(d.Pop.Native())) / float64(d.Model.TotalPopulation())
+	if v, err := core.ValidateAgainstCensus(homes, d.Model, scale); err == nil {
+		fmt.Printf("home detection: %d homes, census r² = %.3f\n\n", len(homes), v.Fit.R2)
+	}
+
+	gyr := mob.NationalSeries(core.MetricGyration)
+	ent := mob.NationalSeries(core.MetricEntropy)
+	t := stats.Table{Title: "national mobility, Δ% vs week 9 (weekly means)", ColNames: weekCols()}
+	t.AddRow("gyration", core.DeltaSeries(gyr, stats.Mean(gyr.Values[:7])).WeeklyMeans().Values)
+	t.AddRow("entropy", core.DeltaSeries(ent, stats.Mean(ent.Values[:7])).WeeklyMeans().Values)
+	report.WriteTable(os.Stdout, &t)
+}
+
+func weekCols() []string {
+	out := make([]string, 0, timegrid.StudyWeeks)
+	for _, w := range timegrid.Weeks() {
+		out = append(out, fmt.Sprintf("w%d", int(w)))
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+// Command calibrate runs the full pipeline at a small scale and prints
+// the headline numbers of every paper result next to the paper's target,
+// for calibrating the behavioural model. It is a development tool; the
+// user-facing harness is cmd/figures.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/census"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+func main() {
+	start := time.Now()
+	cfg := experiments.DefaultConfig()
+	r := experiments.RunStandard(cfg)
+	fmt.Printf("pipeline: %v  towers=%d cells4G=%d users=%d homes=%d cohort=%d\n",
+		time.Since(start).Round(time.Millisecond),
+		len(r.Dataset.Topology.Towers), len(r.Dataset.Topology.Cells4G()),
+		len(r.Dataset.Pop.Native()), len(r.Homes), r.Matrix.CohortSize())
+
+	weekly := func(s stats.Series) []float64 {
+		base := stats.Mean(s.Values[:7])
+		return core.DeltaSeries(s, base).WeeklyMeans().Values
+	}
+	p := func(name string, xs []float64) {
+		fmt.Printf("%-34s", name)
+		for _, x := range xs {
+			fmt.Printf("%7.1f", x)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n--- weeks:                            9     10     11     12     13     14     15     16     17     18     19")
+	gyr := r.Mobility.NationalSeries(core.MetricGyration)
+	ent := r.Mobility.NationalSeries(core.MetricEntropy)
+	p("national gyration Δ% (tgt w12 -20, w13 -50)", weekly(gyr))
+	p("national entropy Δ% (smaller drop)", weekly(ent))
+
+	for _, name := range census.FocusRegionNames() {
+		c, _ := r.Dataset.Model.CountyByName(name)
+		p("gyr "+name, weekly(r.Mobility.CountySeries(c, core.MetricGyration)))
+	}
+	for _, cl := range census.Clusters() {
+		p("gyr "+cl.Name(), weekly(r.Mobility.ClusterSeries(cl, core.MetricGyration)))
+	}
+
+	fmt.Println()
+	wk := func(s stats.Series) []float64 { return core.WeeklyDeltaSeries(s).Values }
+	kpi := r.KPI
+	p("UK DL vol (tgt +8 w10, -24 w17)", wk(kpi.NationalSeries(traffic.DLVolume)))
+	p("UK UL vol (tgt -7..+1.5)", wk(kpi.NationalSeries(traffic.ULVolume)))
+	p("UK DL active (tgt -28.6 w19)", wk(kpi.NationalSeries(traffic.DLActiveUsers)))
+	p("UK thr (tgt >= -10)", wk(kpi.NationalSeries(traffic.DLThroughput)))
+	p("UK load (tgt -15.1 w16)", wk(kpi.NationalSeries(traffic.RadioLoad)))
+	p("UK voice vol (tgt +140 w12)", wk(kpi.NationalSeries(traffic.VoiceVolume)))
+	p("UK voice DL loss (tgt >+100 w10-11)", wk(kpi.NationalSeries(traffic.VoiceDLLoss)))
+	p("UK voice UL loss (decrease)", wk(kpi.NationalSeries(traffic.VoiceULLoss)))
+
+	inner, _ := r.Dataset.Model.CountyByName("Inner London")
+	outer, _ := r.Dataset.Model.CountyByName("Outer London")
+	p("InnerLondon DL (tgt -41)", wk(kpi.CountySeries(inner, traffic.DLVolume)))
+	p("OuterLondon DL (tgt -15)", wk(kpi.CountySeries(outer, traffic.DLVolume)))
+	p("InnerLondon UL (tgt -22 w14)", wk(kpi.CountySeries(inner, traffic.ULVolume)))
+	p("OuterLondon UL (tgt +17 w14)", wk(kpi.CountySeries(outer, traffic.ULVolume)))
+
+	p("Cosmo DL vol (sharp drop)", wk(kpi.ClusterSeries(census.Cosmopolitans, traffic.DLVolume)))
+	p("Rural DL vol (stable)", wk(kpi.ClusterSeries(census.RuralResidents, traffic.DLVolume)))
+	p("Cosmo users (tgt -50)", wk(kpi.ClusterSeries(census.Cosmopolitans, traffic.ConnectedUsers)))
+
+	fmt.Println("\ncorrelations users~DLvol (tgt: Cosmo +.97 EthC +.82 Rural +.30 Suburb -.47):")
+	for _, cl := range []census.Cluster{census.Cosmopolitans, census.EthnicityCentral, census.RuralResidents, census.Suburbanites} {
+		fmt.Printf("  %-28s %+.3f\n", cl.Name(), kpi.UsersVolumeCorrelation(cl))
+	}
+
+	// London districts (Fig 11).
+	for _, code := range []string{"EC", "WC", "N", "SW"} {
+		d, _ := r.Dataset.Model.DistrictByCode(code)
+		p("London "+code+" DL", wk(kpi.DistrictSeries(d, traffic.DLVolume)))
+	}
+	nd, _ := r.Dataset.Model.DistrictByCode("N")
+	p("London N DLusers (tgt +10..23 w10-14)", wk(kpi.DistrictSeries(nd, traffic.DLActiveUsers)))
+
+	// Fig 2 validation.
+	val, err := core.ValidateAgainstCensus(r.Homes, r.Dataset.Model, float64(len(r.Dataset.Pop.Native()))/float64(r.Dataset.Model.TotalPopulation()))
+	fmt.Printf("\nFig2 home-detect r2=%.3f (tgt 0.955) err=%v homes=%d\n", val.Fit.R2, err, len(r.Homes))
+
+	// Fig 7 matrix headline: Inner London residents present at home.
+	home := r.Matrix.HomePresenceSeries()
+	base := stats.Mean(home.Values[:7])
+	hw := core.DeltaSeries(home, base).WeeklyMeans()
+	p("IL residents at home (tgt -10 w13+)", hw.Values)
+	for _, c := range r.Matrix.TopDestinations(5) {
+		pres := r.Matrix.PresenceSeries(c)
+		b := stats.Mean(pres.Values[:7])
+		p("IL pres in "+c.Name, core.DeltaSeries(pres, b).WeeklyMeans().Values)
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,269 @@
+// Command mnosim runs the full synthetic-MNO simulation and exports the
+// datasets the paper's pipeline consumes, as CSV files:
+//
+//	mobility_daily.csv   per-day national/regional/cluster mobility metrics
+//	kpi_daily.csv        per-day per-group KPI medians (all metrics)
+//	mobility_matrix.csv  Inner-London resident presence per county per day
+//	homes.csv            per-district inferred vs census population
+//	signaling_summary.csv per-day control-plane event counts by type
+//
+// Usage:
+//
+//	mnosim -out ./data [-users N] [-seed S]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/census"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/feeds"
+	"repro/internal/signaling"
+	"repro/internal/stats"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "data", "output directory")
+		users = flag.Int("users", 8000, "synthetic native smartphone users")
+		seed  = flag.Uint64("seed", 42, "master random seed")
+		raw   = flag.Bool("raw", false, "also export raw per-visit traces and a sample signalling feed (large)")
+	)
+	flag.Parse()
+
+	if err := run(*out, *users, *seed, *raw); err != nil {
+		fmt.Fprintln(os.Stderr, "mnosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, users int, seed uint64, raw bool) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	start := time.Now()
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = users
+	cfg.Seed = seed
+	r := experiments.RunStandard(cfg)
+	fmt.Fprintf(os.Stderr, "simulation done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if err := writeMobility(out, r); err != nil {
+		return err
+	}
+	if err := writeKPI(out, r); err != nil {
+		return err
+	}
+	if err := writeMatrix(out, r); err != nil {
+		return err
+	}
+	if err := writeHomes(out, r); err != nil {
+		return err
+	}
+	if err := writeSignaling(out, r); err != nil {
+		return err
+	}
+	if raw {
+		if err := writeRaw(out, r); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "datasets written to %s\n", out)
+	return nil
+}
+
+// writeRaw exports the raw per-visit trace feed for the full window and
+// one day of raw control-plane events, in the feeds package's formats,
+// so analyses can be replayed without re-simulating.
+func writeRaw(out string, r *experiments.Results) error {
+	tf, err := os.Create(filepath.Join(out, "traces.csv"))
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	tw := feeds.NewTraceWriter(tf)
+	for day := timegrid.SimDay(0); day < timegrid.SimDays; day++ {
+		if err := tw.WriteDay(day, r.Dataset.Sim.Day(day)); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	ef, err := os.Create(filepath.Join(out, "events_sample.csv"))
+	if err != nil {
+		return err
+	}
+	defer ef.Close()
+	ew := feeds.NewEventWriter(ef)
+	gen := signaling.NewGenerator(r.Dataset.Pop, r.Dataset.Config.Seed)
+	day := timegrid.LockdownStart.ToSimDay()
+	gen.Day(day, r.Dataset.Sim.Day(day), ew.Consume)
+	return ew.Flush()
+}
+
+// create opens a CSV writer for a file in the output directory.
+func create(out, name string) (*csv.Writer, *os.File, error) {
+	f, err := os.Create(filepath.Join(out, name))
+	if err != nil {
+		return nil, nil, err
+	}
+	return csv.NewWriter(f), f, nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// seriesRows writes one row per day of a named series.
+func seriesRows(w *csv.Writer, group, metric string, s stats.Series) error {
+	for d := 0; d < s.Len(); d++ {
+		date := timegrid.DateOfStudyDay(timegrid.StudyDay(d)).Format("2006-01-02")
+		if err := w.Write([]string{date, group, metric, fmtF(s.Values[d])}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMobility(out string, r *experiments.Results) error {
+	w, f, err := create(out, "mobility_daily.csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := w.Write([]string{"date", "group", "metric", "value"}); err != nil {
+		return err
+	}
+	for _, m := range []core.MobilityMetric{core.MetricGyration, core.MetricEntropy} {
+		if err := seriesRows(w, "UK", m.String(), r.Mobility.NationalSeries(m)); err != nil {
+			return err
+		}
+		for _, c := range r.Dataset.Model.FocusRegions() {
+			if err := seriesRows(w, c.Name, m.String(), r.Mobility.CountySeries(c, m)); err != nil {
+				return err
+			}
+		}
+		for _, cl := range census.Clusters() {
+			if err := seriesRows(w, cl.Name(), m.String(), r.Mobility.ClusterSeries(cl, m)); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeKPI(out string, r *experiments.Results) error {
+	w, f, err := create(out, "kpi_daily.csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := w.Write([]string{"date", "group", "metric", "value"}); err != nil {
+		return err
+	}
+	for _, m := range traffic.Metrics() {
+		if err := seriesRows(w, "UK", m.String(), r.KPI.NationalSeries(m)); err != nil {
+			return err
+		}
+		for _, c := range r.Dataset.Model.FocusRegions() {
+			if err := seriesRows(w, c.Name, m.String(), r.KPI.CountySeries(c, m)); err != nil {
+				return err
+			}
+		}
+		for _, cl := range census.Clusters() {
+			if err := seriesRows(w, "cluster:"+cl.Name(), m.String(), r.KPI.ClusterSeries(cl, m)); err != nil {
+				return err
+			}
+		}
+		for _, did := range r.Dataset.Model.InnerLondon().Districts {
+			d := r.Dataset.Model.District(did)
+			if err := seriesRows(w, "london:"+d.Code, m.String(), r.KPI.DistrictSeries(d, m)); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeMatrix(out string, r *experiments.Results) error {
+	w, f, err := create(out, "mobility_matrix.csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := w.Write([]string{"date", "county", "residents_present"}); err != nil {
+		return err
+	}
+	counties := append([]*census.County{r.Dataset.Model.InnerLondon()}, r.Matrix.TopDestinations(10)...)
+	for _, c := range counties {
+		s := r.Matrix.PresenceSeries(c)
+		for d := 0; d < s.Len(); d++ {
+			date := timegrid.DateOfStudyDay(timegrid.StudyDay(d)).Format("2006-01-02")
+			if err := w.Write([]string{date, c.Name, fmtF(s.Values[d])}); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeHomes(out string, r *experiments.Results) error {
+	w, f, err := create(out, "homes.csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := w.Write([]string{"district", "census_scaled", "inferred"}); err != nil {
+		return err
+	}
+	scale := float64(len(r.Dataset.Pop.Native())) / float64(r.Dataset.Model.TotalPopulation())
+	v, err := core.ValidateAgainstCensus(r.Homes, r.Dataset.Model, scale)
+	if err != nil {
+		return err
+	}
+	for i, label := range v.Labels {
+		if err := w.Write([]string{label, fmtF(v.Census[i]), fmtF(v.Inferred[i])}); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func writeSignaling(out string, r *experiments.Results) error {
+	w, f, err := create(out, "signaling_summary.csv")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := w.Write([]string{"date", "event_type", "count"}); err != nil {
+		return err
+	}
+	gen := signaling.NewGenerator(r.Dataset.Pop, r.Dataset.Config.Seed)
+	// One representative day per week keeps the export light.
+	for _, wk := range timegrid.Weeks() {
+		day := wk.Days()[2] // Wednesday
+		agg := signaling.NewAggregator(r.Dataset.Topology)
+		gen.Day(day.ToSimDay(), r.Dataset.Sim.Day(day.ToSimDay()), agg.Consume)
+		date := timegrid.DateOfStudyDay(day).Format("2006-01-02")
+		for et := signaling.EventType(0); int(et) < signaling.NumEventTypes; et++ {
+			if err := w.Write([]string{date, et.String(), strconv.FormatInt(agg.ByType[et], 10)}); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

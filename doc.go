@@ -1,0 +1,25 @@
+// Package repro is a full, self-contained Go reproduction of
+// "A Characterization of the COVID-19 Pandemic Impact on a Mobile
+// Network Operator Traffic" (Lutu, Perino, Bagnulo, Frias-Martinez,
+// Khangosstar — ACM IMC 2020).
+//
+// The paper is a measurement study over a UK operator's proprietary
+// control-plane and radio-KPI feeds; this module substitutes a complete
+// synthetic United Kingdom and synthetic MNO (see DESIGN.md) and
+// re-implements the paper's entire analysis pipeline on top of it:
+// mobility entropy and radius of gyration, night-time home detection,
+// mobility matrices, and the per-cell KPI delta statistics behind every
+// figure.
+//
+// Entry points:
+//
+//   - internal/experiments: one runner per paper figure (Fig2 … Fig12),
+//     with shape checks against the published results.
+//   - cmd/figures: regenerate all figures and print PASS/FAIL checks.
+//   - cmd/mnosim: export the synthetic datasets as CSV.
+//   - cmd/mobilityrpt: ad-hoc mobility reports.
+//   - examples/: runnable walk-throughs of the public pipeline.
+//
+// The benchmarks in bench_test.go regenerate every table and figure (one
+// benchmark each) and include the ablations called out in DESIGN.md.
+package repro

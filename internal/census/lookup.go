@@ -1,0 +1,93 @@
+package census
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PostcodeInfo is the NSPL-style join record for one postcode district:
+// the administrative and geodemographic attributes the paper appends to
+// every radio cell (§2.2, "UK Administrative and Geo-demographic
+// Datasets" and §2.4).
+type PostcodeInfo struct {
+	District   *District
+	County     *County
+	Cluster    Cluster
+	Population int
+}
+
+// Lookup resolves a postcode district code ("EC", "GM3") into its full
+// administrative context, like an NSPL join.
+func (m *Model) Lookup(code string) (PostcodeInfo, bool) {
+	d, ok := m.DistrictByCode(strings.ToUpper(strings.TrimSpace(code)))
+	if !ok {
+		return PostcodeInfo{}, false
+	}
+	return PostcodeInfo{
+		District:   d,
+		County:     m.County(d.County),
+		Cluster:    d.Cluster,
+		Population: d.Population,
+	}, true
+}
+
+// PenPortrait renders the ONS-style pen portrait of a cluster: the
+// Table 1 definition plus the synthetic UK's realisation of it (how
+// many districts, residents, and where they concentrate).
+func (m *Model) PenPortrait(c Cluster) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n  %s\n", c.Name(), c.Definition())
+	districts := m.DistrictsInCluster(c)
+	var pop int
+	countyPop := map[string]int{}
+	for _, d := range districts {
+		pop += d.Population
+		countyPop[m.County(d.County).Name] += d.Population
+	}
+	fmt.Fprintf(&b, "  %d districts, %d residents (%.1f%% of the population)\n",
+		len(districts), pop, 100*float64(pop)/float64(m.TotalPopulation()))
+	type kv struct {
+		name string
+		pop  int
+	}
+	var tops []kv
+	for n, p := range countyPop {
+		tops = append(tops, kv{n, p})
+	}
+	sort.Slice(tops, func(i, j int) bool {
+		if tops[i].pop != tops[j].pop {
+			return tops[i].pop > tops[j].pop
+		}
+		return tops[i].name < tops[j].name
+	})
+	if len(tops) > 3 {
+		tops = tops[:3]
+	}
+	names := make([]string, len(tops))
+	for i, t := range tops {
+		names[i] = t.name
+	}
+	fmt.Fprintf(&b, "  concentrated in: %s\n", strings.Join(names, ", "))
+	return b.String()
+}
+
+// DistrictCodes returns every postcode district code, sorted.
+func (m *Model) DistrictCodes() []string {
+	out := make([]string, 0, len(m.Districts))
+	for i := range m.Districts {
+		out = append(out, m.Districts[i].Code)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountyNames returns every county name, sorted.
+func (m *Model) CountyNames() []string {
+	out := make([]string, 0, len(m.Counties))
+	for i := range m.Counties {
+		out = append(out, m.Counties[i].Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"repro/internal/census"
+	"repro/internal/mobsim"
+	"repro/internal/popsim"
+	"repro/internal/stats"
+	"repro/internal/timegrid"
+)
+
+// MobilityMetric selects one of the two §2.3 mobility metrics.
+type MobilityMetric int
+
+// Mobility metrics.
+const (
+	MetricEntropy MobilityMetric = iota
+	MetricGyration
+)
+
+// String implements fmt.Stringer.
+func (m MobilityMetric) String() string {
+	if m == MetricEntropy {
+		return "entropy"
+	}
+	return "gyration"
+}
+
+// groupAcc accumulates per-day sums of both metrics for one user group.
+type groupAcc struct {
+	sumE [timegrid.StudyDays]float64
+	sumG [timegrid.StudyDays]float64
+	n    [timegrid.StudyDays]int
+}
+
+func (g *groupAcc) add(day timegrid.StudyDay, m DayMetrics) {
+	g.sumE[day] += m.Entropy
+	g.sumG[day] += m.Gyration
+	g.n[day]++
+}
+
+// series extracts the daily per-user average of a metric.
+func (g *groupAcc) series(label string, metric MobilityMetric) stats.Series {
+	s := stats.NewSeries(label, timegrid.StudyDays)
+	for d := 0; d < timegrid.StudyDays; d++ {
+		if g.n[d] == 0 {
+			continue
+		}
+		switch metric {
+		case MetricEntropy:
+			s.Values[d] = g.sumE[d] / float64(g.n[d])
+		default:
+			s.Values[d] = g.sumG[d] / float64(g.n[d])
+		}
+	}
+	return s
+}
+
+// MobilityAnalyzer streams day traces and aggregates the per-user daily
+// mobility metrics at national, county and geodemographic-cluster level —
+// the aggregation §2.3 describes ("even if we compute these metrics per
+// user at cell tower level, we aggregate them at postcode or larger
+// granularity").
+type MobilityAnalyzer struct {
+	pop  *popsim.Population
+	topN int
+
+	national  groupAcc
+	byCounty  []groupAcc
+	byCluster [census.NumClusters]groupAcc
+}
+
+// NewMobilityAnalyzer returns an analyzer using the paper's top-20
+// filter; pass topN <= 0 to disable filtering.
+func NewMobilityAnalyzer(pop *popsim.Population, topN int) *MobilityAnalyzer {
+	return &MobilityAnalyzer{
+		pop:      pop,
+		topN:     topN,
+		byCounty: make([]groupAcc, len(pop.Model().Counties)),
+	}
+}
+
+// ConsumeDay ingests one simulated day. Days outside the study window
+// (the February home-detection period) are ignored.
+func (a *MobilityAnalyzer) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrace) {
+	sd, ok := day.ToStudyDay()
+	if !ok {
+		return
+	}
+	topo := a.pop.Topology()
+	for i := range traces {
+		t := &traces[i]
+		m := ComputeDayMetrics(t, topo, a.topN)
+		u := a.pop.User(t.User)
+		a.national.add(sd, m)
+		a.byCounty[u.HomeCounty].add(sd, m)
+		a.byCluster[u.Cluster].add(sd, m)
+	}
+}
+
+// NationalSeries returns the nation-wide daily average of the metric per
+// user (the Fig. 3 series before the delta transformation).
+func (a *MobilityAnalyzer) NationalSeries(metric MobilityMetric) stats.Series {
+	return a.national.series("UK", metric)
+}
+
+// CountySeries returns the daily average for residents of a county.
+func (a *MobilityAnalyzer) CountySeries(c *census.County, metric MobilityMetric) stats.Series {
+	return a.byCounty[c.ID].series(c.Name, metric)
+}
+
+// ClusterSeries returns the daily average for residents of an OAC
+// cluster.
+func (a *MobilityAnalyzer) ClusterSeries(c census.Cluster, metric MobilityMetric) stats.Series {
+	return a.byCluster[c].series(c.Name(), metric)
+}
+
+// NationalWeek9Baseline returns the average national value of the metric
+// over week 9, the reference every regional/cluster figure compares to.
+func (a *MobilityAnalyzer) NationalWeek9Baseline(metric MobilityMetric) float64 {
+	s := a.NationalSeries(metric)
+	return stats.Mean(s.Values[:7])
+}
+
+// DeltaSeries converts a raw series into the paper's delta-variation
+// percentage against an explicit baseline value.
+func DeltaSeries(s stats.Series, baseline float64) stats.Series {
+	out := stats.NewSeries(s.Label, s.Len())
+	for i, v := range s.Values {
+		out.Values[i] = stats.DeltaPercent(v, baseline)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"repro/internal/census"
+	"repro/internal/mobsim"
+	"repro/internal/popsim"
+	"repro/internal/radio"
+	"repro/internal/stats"
+	"repro/internal/timegrid"
+)
+
+// HomeDetector implements the §2.3 home-detection algorithm: a user's
+// home is the cell tower they connect to the longest during night-time
+// hours (midnight through 08:00), observed on at least MinNights
+// distinct nights during February 2020.
+type HomeDetector struct {
+	topo *radio.Topology
+	// MinNights is the minimum number of distinct nights the winning
+	// tower must be observed on (14 in the paper).
+	MinNights int
+	// NightBins are the 4-hour bins counted as night (bins 0 and 1 cover
+	// 00:00–08:00).
+	NightBins []timegrid.Bin
+
+	// per user: night dwell seconds and distinct-night counts per tower.
+	nightSeconds map[popsim.UserID]map[radio.TowerID]float64
+	nightCount   map[popsim.UserID]map[radio.TowerID]int
+}
+
+// NewHomeDetector returns a detector with the paper's parameters.
+func NewHomeDetector(topo *radio.Topology) *HomeDetector {
+	return &HomeDetector{
+		topo:         topo,
+		MinNights:    14,
+		NightBins:    []timegrid.Bin{0, 1},
+		nightSeconds: make(map[popsim.UserID]map[radio.TowerID]float64),
+		nightCount:   make(map[popsim.UserID]map[radio.TowerID]int),
+	}
+}
+
+// ConsumeDay feeds one simulated day of traces. Only February days
+// contribute (the paper's detection window); other days are ignored, so
+// callers can stream the whole simulation through unconditionally.
+func (h *HomeDetector) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrace) {
+	if !day.InFebruary() {
+		return
+	}
+	for i := range traces {
+		t := &traces[i]
+		// Night dwell per tower for this night.
+		var perTower map[radio.TowerID]float64
+		for _, v := range t.Visits {
+			if !h.isNight(v.Bin) {
+				continue
+			}
+			if perTower == nil {
+				perTower = make(map[radio.TowerID]float64, 2)
+			}
+			perTower[v.Tower] += float64(v.Seconds)
+		}
+		if perTower == nil {
+			continue
+		}
+		us, ok := h.nightSeconds[t.User]
+		if !ok {
+			us = make(map[radio.TowerID]float64, 2)
+			h.nightSeconds[t.User] = us
+			h.nightCount[t.User] = make(map[radio.TowerID]int, 2)
+		}
+		uc := h.nightCount[t.User]
+		for tw, s := range perTower {
+			us[tw] += s
+			uc[tw]++
+		}
+	}
+}
+
+func (h *HomeDetector) isNight(b timegrid.Bin) bool {
+	for _, nb := range h.NightBins {
+		if b == nb {
+			return true
+		}
+	}
+	return false
+}
+
+// Home is a detected home location.
+type Home struct {
+	User     popsim.UserID
+	Tower    radio.TowerID
+	District census.DistrictID
+	County   census.CountyID
+}
+
+// Detect finalises the detection: for every user with enough night
+// observations it returns the inferred home. Users whose best tower was
+// seen on fewer than MinNights nights are dropped, mirroring the paper
+// (homes were determined for ~16M of ~22M users).
+func (h *HomeDetector) Detect() map[popsim.UserID]Home {
+	out := make(map[popsim.UserID]Home, len(h.nightSeconds))
+	for user, perTower := range h.nightSeconds {
+		var best radio.TowerID
+		bestSec := -1.0
+		for tw, s := range perTower {
+			if s > bestSec || (s == bestSec && tw < best) {
+				best, bestSec = tw, s
+			}
+		}
+		if bestSec < 0 || h.nightCount[user][best] < h.MinNights {
+			continue
+		}
+		tw := h.topo.Tower(best)
+		out[user] = Home{User: user, Tower: best, District: tw.District, County: tw.County}
+	}
+	return out
+}
+
+// CensusValidation is the Fig. 2 experiment: it compares the number of
+// inferred residents per area against the (scaled) census population and
+// fits a line, reporting r².
+type CensusValidation struct {
+	Fit stats.LinearFit
+	// Areas is the number of comparison points (districts standing in
+	// for Local Authority Districts).
+	Areas int
+	// Inferred and Census hold the paired observations, for plotting.
+	Inferred []float64
+	Census   []float64
+	Labels   []string
+}
+
+// ValidateAgainstCensus aggregates detected homes per district and
+// regresses the counts against census populations scaled to the agent
+// population, reproducing the Fig. 2 validation (paper: r² = 0.955).
+func ValidateAgainstCensus(homes map[popsim.UserID]Home, model *census.Model, scale float64) (CensusValidation, error) {
+	counts := make([]float64, len(model.Districts))
+	for _, h := range homes {
+		counts[h.District]++
+	}
+	v := CensusValidation{
+		Inferred: make([]float64, 0, len(model.Districts)),
+		Census:   make([]float64, 0, len(model.Districts)),
+		Labels:   make([]string, 0, len(model.Districts)),
+	}
+	for i := range model.Districts {
+		d := &model.Districts[i]
+		v.Inferred = append(v.Inferred, counts[i])
+		v.Census = append(v.Census, float64(d.Population)*scale)
+		v.Labels = append(v.Labels, d.Code)
+	}
+	fit, err := stats.OLS(v.Census, v.Inferred)
+	if err != nil {
+		return v, err
+	}
+	v.Fit = fit
+	v.Areas = len(v.Inferred)
+	return v, nil
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+func TestNationalBandOrdered(t *testing.T) {
+	r := fixtureResults(t)
+	for _, m := range []traffic.Metric{traffic.DLVolume, traffic.ConnectedUsers, traffic.VoiceVolume} {
+		p10, p50, p90 := r.KPI.NationalBand(m)
+		for d := 0; d < timegrid.StudyDays; d++ {
+			if !(p10.Values[d] <= p50.Values[d] && p50.Values[d] <= p90.Values[d]) {
+				t.Fatalf("%v day %d: band not ordered (%v, %v, %v)",
+					m, d, p10.Values[d], p50.Values[d], p90.Values[d])
+			}
+		}
+		// A wide distribution is expected in a heterogeneous estate.
+		if p90.Values[2] <= p10.Values[2] {
+			t.Errorf("%v: degenerate band", m)
+		}
+	}
+}
+
+func TestBandStability(t *testing.T) {
+	r := fixtureResults(t)
+	// The §4.1 claim: the cross-cell distribution shape is roughly
+	// preserved through the lockdown — the relative spread changes by
+	// well under a factor of two.
+	for _, wk := range []timegrid.Week{13, 16, 19} {
+		s := r.KPI.BandStability(traffic.DLVolume, wk)
+		if s < -0.6 || s > 1.0 {
+			t.Errorf("DL volume band spread change at %v = %v", wk, s)
+		}
+	}
+	// Baseline week against itself is exactly zero.
+	if got := r.KPI.BandStability(traffic.DLVolume, timegrid.BaselineWeek); got != 0 {
+		t.Errorf("self stability = %v", got)
+	}
+}

@@ -1,0 +1,186 @@
+// Package experiments wires the full reproduction pipeline together and
+// provides one runner per paper figure. A Dataset owns the synthetic UK,
+// the radio topology, the population and the simulators; Run streams the
+// 100 simulated days (February for home detection, weeks 9–19 for the
+// analyses) through every analyzer in a single pass.
+package experiments
+
+import (
+	"repro/internal/census"
+	"repro/internal/core"
+	"repro/internal/mobsim"
+	"repro/internal/pandemic"
+	"repro/internal/popsim"
+	"repro/internal/radio"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// Config scales the reproduction. Larger TargetUsers give smoother
+// medians at linear cost.
+type Config struct {
+	Seed        uint64
+	TargetUsers int
+	// PopPerTower controls radio density (see radio.Config).
+	PopPerTower int
+	// Scenario overrides the default pandemic scenario when non-nil.
+	Scenario *pandemic.Scenario
+	// TopN is the per-user tower filter (0 disables, default 20).
+	TopN int
+	// SkipKPI skips the traffic engine (mobility-only runs are ~3×
+	// faster; used by mobility figures and benchmarks).
+	SkipKPI bool
+	// SkipFebruary skips the home-detection window (no Fig. 2 / Fig. 7
+	// cohort, but 23% faster).
+	SkipFebruary bool
+}
+
+// DefaultConfig is the scale used by tests and the figure harness.
+func DefaultConfig() Config {
+	return Config{Seed: 42, TargetUsers: 8000, PopPerTower: 40_000, TopN: core.DefaultTopN}
+}
+
+// Dataset is a fully constructed simulation stack.
+type Dataset struct {
+	Config   Config
+	Model    *census.Model
+	Topology *radio.Topology
+	Pop      *popsim.Population
+	Scenario *pandemic.Scenario
+	Sim      *mobsim.Simulator
+	Engine   *traffic.Engine
+}
+
+// NewDataset builds the stack deterministically from the config.
+func NewDataset(cfg Config) *Dataset {
+	if cfg.TargetUsers == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.TopN == 0 {
+		cfg.TopN = core.DefaultTopN
+	}
+	scen := cfg.Scenario
+	if scen == nil {
+		scen = pandemic.Default()
+	}
+	model := census.BuildUK(cfg.Seed)
+	rcfg := radio.DefaultConfig()
+	if cfg.PopPerTower > 0 {
+		rcfg.PopPerTower = cfg.PopPerTower
+	}
+	topo := radio.Build(model, rcfg, cfg.Seed)
+	pop := popsim.Synthesize(model, topo, scen, popsim.Config{
+		Seed:           cfg.Seed,
+		TargetUsers:    cfg.TargetUsers,
+		M2MFraction:    0.08,
+		RoamerFraction: 0.03,
+	})
+	d := &Dataset{
+		Config:   cfg,
+		Model:    model,
+		Topology: topo,
+		Pop:      pop,
+		Scenario: scen,
+		Sim:      mobsim.New(pop, scen, cfg.Seed),
+	}
+	if !cfg.SkipKPI {
+		d.Engine = traffic.NewEngine(pop, scen, traffic.DefaultParams(), cfg.Seed)
+	}
+	return d
+}
+
+// DayConsumer receives one simulated day of traces.
+type DayConsumer interface {
+	ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrace)
+}
+
+// KPIConsumer receives one simulated day of per-cell KPI records.
+type KPIConsumer interface {
+	ConsumeDay(day timegrid.SimDay, cells []traffic.CellDay)
+}
+
+// Run streams every simulated day through the given consumers in one
+// pass. KPI records are only generated if at least one KPIConsumer is
+// supplied and the dataset was built with KPI enabled.
+func (d *Dataset) Run(traceConsumers []DayConsumer, kpiConsumers []KPIConsumer) {
+	firstDay := timegrid.SimDay(0)
+	if d.Config.SkipFebruary {
+		firstDay = timegrid.SimDay(timegrid.StudyDayOffset)
+	}
+	for day := firstDay; day < timegrid.SimDays; day++ {
+		traces := d.Sim.Day(day)
+		for _, c := range traceConsumers {
+			c.ConsumeDay(day, traces)
+		}
+		if d.Engine != nil && len(kpiConsumers) > 0 {
+			cells := d.Engine.Day(day, traces)
+			for _, c := range kpiConsumers {
+				c.ConsumeDay(day, cells)
+			}
+		}
+	}
+}
+
+// Results bundles the analyzers most figures share; RunStandard fills it
+// in one pass over the simulation.
+type Results struct {
+	Dataset  *Dataset
+	Mobility *core.MobilityAnalyzer
+	KPI      *core.KPIAnalyzer
+	Homes    map[popsim.UserID]core.Home
+	Matrix   *core.MobilityMatrix
+}
+
+// RunStandard executes the canonical full pipeline: home detection over
+// February, then mobility metrics, the Inner-London mobility matrix
+// (with the cohort chosen by *detected* homes, as in the paper) and the
+// KPI analysis over the study window.
+//
+// It runs the simulation twice: a February-only pass to detect homes
+// (so the matrix cohort exists before the study window starts), then the
+// full pass. Both passes are deterministic and share the same per-day
+// streams, so the traces are identical across passes.
+func RunStandard(cfg Config) *Results {
+	d := NewDataset(cfg)
+	r := &Results{Dataset: d}
+
+	// Pass 1: February only, for home detection.
+	hd := core.NewHomeDetector(d.Topology)
+	for day := timegrid.SimDay(0); day < timegrid.FebruaryDays; day++ {
+		hd.ConsumeDay(day, d.Sim.Day(day))
+	}
+	r.Homes = hd.Detect()
+
+	// Cohort: users whose detected home county is Inner London.
+	inner := d.Model.InnerLondon()
+	var cohort []popsim.UserID
+	for uid, h := range r.Homes {
+		if h.County == inner.ID {
+			cohort = append(cohort, uid)
+		}
+	}
+
+	r.Mobility = core.NewMobilityAnalyzer(d.Pop, cfg.TopN)
+	r.Matrix = core.NewMobilityMatrix(d.Pop, inner.ID, cohort, cfg.TopN)
+	traceConsumers := []DayConsumer{r.Mobility, r.Matrix}
+	var kpiConsumers []KPIConsumer
+	if d.Engine != nil {
+		r.KPI = core.NewKPIAnalyzer(d.Topology)
+		kpiConsumers = append(kpiConsumers, r.KPI)
+	}
+
+	// Pass 2: the study window.
+	for day := timegrid.SimDay(timegrid.StudyDayOffset); day < timegrid.SimDays; day++ {
+		traces := d.Sim.Day(day)
+		for _, c := range traceConsumers {
+			c.ConsumeDay(day, traces)
+		}
+		if d.Engine != nil {
+			cells := d.Engine.Day(day, traces)
+			for _, c := range kpiConsumers {
+				c.ConsumeDay(day, cells)
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/feeds"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+func TestReplayTracesMatchesLive(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TargetUsers = 700
+	cfg.SkipKPI = true
+	d := NewDataset(cfg)
+
+	// Live pass over a slice of the study window, persisting as we go.
+	var buf bytes.Buffer
+	w := feeds.NewTraceWriter(&buf)
+	live := core.NewMobilityAnalyzer(d.Pop, cfg.TopN)
+	start := timegrid.SimDay(timegrid.StudyDayOffset)
+	for day := start; day < start+10; day++ {
+		traces := d.Sim.Day(day)
+		live.ConsumeDay(day, traces)
+		if err := w.WriteDay(day, traces); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay pass from the persisted feed.
+	r, err := feeds.NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := core.NewMobilityAnalyzer(d.Pop, cfg.TopN)
+	days, err := ReplayTraces(r, []DayConsumer{replayed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if days != 10 {
+		t.Fatalf("replayed %d days, want 10", days)
+	}
+
+	a := live.NationalSeries(core.MetricGyration)
+	b := replayed.NationalSeries(core.MetricGyration)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("day %d: live %v vs replayed %v", i, a.Values[i], b.Values[i])
+		}
+	}
+	e1 := live.NationalSeries(core.MetricEntropy)
+	e2 := replayed.NationalSeries(core.MetricEntropy)
+	for i := range e1.Values {
+		if e1.Values[i] != e2.Values[i] {
+			t.Fatalf("entropy day %d differs after replay", i)
+		}
+	}
+}
+
+func TestReplayKPIMatchesLive(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TargetUsers = 700
+	d := NewDataset(cfg)
+
+	var buf bytes.Buffer
+	w := feeds.NewKPIWriter(&buf)
+	live := core.NewKPIAnalyzer(d.Topology)
+	start := timegrid.SimDay(timegrid.StudyDayOffset)
+	for day := start; day < start+7; day++ {
+		cells := d.Engine.Day(day, d.Sim.Day(day))
+		live.ConsumeDay(day, cells)
+		if err := w.WriteDay(day, cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := feeds.NewKPIReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := core.NewKPIAnalyzer(d.Topology)
+	days, err := ReplayKPI(r, []KPIConsumer{replayed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if days != 7 {
+		t.Fatalf("replayed %d days", days)
+	}
+	// Compare a handful of series across all metrics.
+	for _, m := range []int{0, 4, 9} {
+		a := live.NationalSeries(metricOf(m))
+		b := replayed.NationalSeries(metricOf(m))
+		for i := range a.Values {
+			if a.Values[i] != b.Values[i] {
+				t.Fatalf("metric %d day %d: %v vs %v", m, i, a.Values[i], b.Values[i])
+			}
+		}
+	}
+}
+
+func TestReplayRejectsBadDays(t *testing.T) {
+	feed := "day,user,tower,bin,seconds,at_residence\n500,1,0,0,100,1\n"
+	r, err := feeds.NewTraceReader(strings.NewReader(feed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayTraces(r, nil); err == nil {
+		t.Error("out-of-window day accepted")
+	}
+}
+
+// metricOf converts an int index to a traffic.Metric.
+func metricOf(i int) traffic.Metric { return traffic.Metric(i) }

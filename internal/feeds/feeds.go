@@ -1,0 +1,449 @@
+// Package feeds persists and reloads the simulator's data feeds in CSV —
+// the interchange format for the three record kinds the paper's pipeline
+// consumes: per-user day traces (§2.3 mobility input), per-cell daily
+// KPI records (§2.4), and control-plane events (§2.2). A downstream user
+// can run the expensive simulation once with cmd/mnosim, persist the
+// feeds, and re-run analyses from disk.
+//
+// Formats are line-oriented CSV with a fixed header; all writers/readers
+// are streaming and never hold a full feed in memory.
+package feeds
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/devices"
+	"repro/internal/mobsim"
+	"repro/internal/popsim"
+	"repro/internal/radio"
+	"repro/internal/signaling"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// ErrBadHeader reports a feed file whose header does not match the
+// expected schema.
+var ErrBadHeader = errors.New("feeds: unexpected header")
+
+// --- day traces ------------------------------------------------------------
+
+// traceHeader is the schema of the trace feed.
+var traceHeader = []string{"day", "user", "tower", "bin", "seconds", "at_residence"}
+
+// TraceWriter streams day traces to CSV.
+type TraceWriter struct {
+	w       *csv.Writer
+	started bool
+}
+
+// NewTraceWriter returns a writer; the header is emitted on first write.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: csv.NewWriter(w)}
+}
+
+// WriteDay appends all visits of one simulated day.
+func (t *TraceWriter) WriteDay(day timegrid.SimDay, traces []mobsim.DayTrace) error {
+	if !t.started {
+		if err := t.w.Write(traceHeader); err != nil {
+			return err
+		}
+		t.started = true
+	}
+	dayStr := strconv.Itoa(int(day))
+	for i := range traces {
+		tr := &traces[i]
+		userStr := strconv.FormatUint(uint64(tr.User), 10)
+		for _, v := range tr.Visits {
+			rec := []string{
+				dayStr,
+				userStr,
+				strconv.Itoa(int(v.Tower)),
+				strconv.Itoa(int(v.Bin)),
+				strconv.Itoa(int(v.Seconds)),
+				boolStr(v.AtResidence),
+			}
+			if err := t.w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered records and reports any write error.
+func (t *TraceWriter) Flush() error {
+	t.w.Flush()
+	return t.w.Error()
+}
+
+// TraceReader streams day traces back from CSV. Visits of one user-day
+// must be contiguous (as TraceWriter emits them).
+type TraceReader struct {
+	r      *csv.Reader
+	peeked []string
+}
+
+// NewTraceReader validates the header and returns a reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(traceHeader)
+	hdr, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("feeds: reading trace header: %w", err)
+	}
+	if !equalRow(hdr, traceHeader) {
+		return nil, ErrBadHeader
+	}
+	return &TraceReader{r: cr}, nil
+}
+
+// ReadDay reads the next full day of traces. It returns io.EOF when the
+// feed is exhausted.
+func (t *TraceReader) ReadDay() (timegrid.SimDay, []mobsim.DayTrace, error) {
+	var (
+		day     timegrid.SimDay = -1
+		traces  []mobsim.DayTrace
+		current *mobsim.DayTrace
+	)
+	for {
+		rec, err := t.next()
+		if err == io.EOF {
+			if day < 0 {
+				return 0, nil, io.EOF
+			}
+			return day, traces, nil
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		d, v, user, err := parseTraceRow(rec)
+		if err != nil {
+			return 0, nil, err
+		}
+		if day < 0 {
+			day = d
+		}
+		if d != day {
+			t.peeked = rec // belongs to the next day
+			return day, traces, nil
+		}
+		if current == nil || current.User != user {
+			traces = append(traces, mobsim.DayTrace{User: user})
+			current = &traces[len(traces)-1]
+		}
+		current.Visits = append(current.Visits, v)
+	}
+}
+
+// next returns the pushed-back record, if any, else reads one.
+func (t *TraceReader) next() ([]string, error) {
+	if t.peeked != nil {
+		rec := t.peeked
+		t.peeked = nil
+		return rec, nil
+	}
+	return t.r.Read()
+}
+
+// parseTraceRow decodes one CSV row of the trace feed.
+func parseTraceRow(rec []string) (timegrid.SimDay, mobsim.Visit, popsim.UserID, error) {
+	day, err1 := strconv.Atoi(rec[0])
+	user, err2 := strconv.ParseUint(rec[1], 10, 32)
+	tower, err3 := strconv.Atoi(rec[2])
+	bin, err4 := strconv.Atoi(rec[3])
+	sec, err5 := strconv.Atoi(rec[4])
+	atRes, err6 := parseBool(rec[5])
+	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+		if err != nil {
+			return 0, mobsim.Visit{}, 0, fmt.Errorf("feeds: bad trace row %v: %w", rec, err)
+		}
+	}
+	if bin < 0 || bin >= timegrid.BinsPerDay {
+		return 0, mobsim.Visit{}, 0, fmt.Errorf("feeds: trace bin %d out of range", bin)
+	}
+	v := mobsim.Visit{
+		Tower:       radio.TowerID(tower),
+		Bin:         timegrid.Bin(bin),
+		Seconds:     int32(sec),
+		AtResidence: atRes,
+	}
+	return timegrid.SimDay(day), v, popsim.UserID(user), nil
+}
+
+// --- per-cell daily KPI records ---------------------------------------------
+
+// kpiHeader is the schema of the KPI feed: one row per cell-day with all
+// metrics in column order.
+var kpiHeader = buildKPIHeader()
+
+func buildKPIHeader() []string {
+	h := []string{"day", "cell"}
+	for _, m := range traffic.Metrics() {
+		h = append(h, "m"+strconv.Itoa(int(m)))
+	}
+	return h
+}
+
+// KPIWriter streams CellDay records to CSV.
+type KPIWriter struct {
+	w       *csv.Writer
+	started bool
+}
+
+// NewKPIWriter returns a writer; the header is emitted on first write.
+func NewKPIWriter(w io.Writer) *KPIWriter { return &KPIWriter{w: csv.NewWriter(w)} }
+
+// WriteDay appends one day of cell records.
+func (k *KPIWriter) WriteDay(day timegrid.SimDay, cells []traffic.CellDay) error {
+	if !k.started {
+		if err := k.w.Write(kpiHeader); err != nil {
+			return err
+		}
+		k.started = true
+	}
+	dayStr := strconv.Itoa(int(day))
+	rec := make([]string, len(kpiHeader))
+	for i := range cells {
+		c := &cells[i]
+		rec[0] = dayStr
+		rec[1] = strconv.Itoa(int(c.Cell))
+		for m := 0; m < traffic.NumMetrics; m++ {
+			rec[2+m] = strconv.FormatFloat(c.Values[m], 'g', -1, 64)
+		}
+		if err := k.w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered records and reports any write error.
+func (k *KPIWriter) Flush() error {
+	k.w.Flush()
+	return k.w.Error()
+}
+
+// KPIReader streams CellDay records back from CSV.
+type KPIReader struct {
+	r      *csv.Reader
+	peeked []string
+}
+
+// NewKPIReader validates the header and returns a reader.
+func NewKPIReader(r io.Reader) (*KPIReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(kpiHeader)
+	hdr, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("feeds: reading KPI header: %w", err)
+	}
+	if !equalRow(hdr, kpiHeader) {
+		return nil, ErrBadHeader
+	}
+	return &KPIReader{r: cr}, nil
+}
+
+// ReadDay reads the next full day of cell records; io.EOF at the end.
+func (k *KPIReader) ReadDay() (timegrid.SimDay, []traffic.CellDay, error) {
+	var (
+		day   timegrid.SimDay = -1
+		cells []traffic.CellDay
+	)
+	for {
+		rec, err := k.next()
+		if err == io.EOF {
+			if day < 0 {
+				return 0, nil, io.EOF
+			}
+			return day, cells, nil
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		d, cd, err := parseKPIRow(rec)
+		if err != nil {
+			return 0, nil, err
+		}
+		if day < 0 {
+			day = d
+		}
+		if d != day {
+			k.peeked = rec
+			return day, cells, nil
+		}
+		cells = append(cells, cd)
+	}
+}
+
+func (k *KPIReader) next() ([]string, error) {
+	if k.peeked != nil {
+		rec := k.peeked
+		k.peeked = nil
+		return rec, nil
+	}
+	return k.r.Read()
+}
+
+// parseKPIRow decodes one CSV row of the KPI feed.
+func parseKPIRow(rec []string) (timegrid.SimDay, traffic.CellDay, error) {
+	day, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return 0, traffic.CellDay{}, fmt.Errorf("feeds: bad KPI day %q: %w", rec[0], err)
+	}
+	cell, err := strconv.Atoi(rec[1])
+	if err != nil {
+		return 0, traffic.CellDay{}, fmt.Errorf("feeds: bad KPI cell %q: %w", rec[1], err)
+	}
+	cd := traffic.CellDay{Cell: radio.CellID(cell)}
+	for m := 0; m < traffic.NumMetrics; m++ {
+		v, err := strconv.ParseFloat(rec[2+m], 64)
+		if err != nil {
+			return 0, traffic.CellDay{}, fmt.Errorf("feeds: bad KPI value %q: %w", rec[2+m], err)
+		}
+		cd.Values[m] = v
+	}
+	return timegrid.SimDay(day), cd, nil
+}
+
+// --- control-plane events ----------------------------------------------------
+
+// eventHeader is the schema of the signalling feed.
+var eventHeader = []string{"day", "sec", "user", "type", "tower", "sector", "rat", "tac", "mcc", "mnc", "ok"}
+
+// EventWriter streams signalling events to CSV; its Consume method is a
+// signaling.EmitFunc, so it can be plugged directly into the generator.
+type EventWriter struct {
+	w       *csv.Writer
+	started bool
+	err     error
+}
+
+// NewEventWriter returns a writer; the header is emitted on first event.
+func NewEventWriter(w io.Writer) *EventWriter { return &EventWriter{w: csv.NewWriter(w)} }
+
+// Consume appends one event; errors are latched and reported by Flush.
+func (e *EventWriter) Consume(ev *signaling.Event) {
+	if e.err != nil {
+		return
+	}
+	if !e.started {
+		if err := e.w.Write(eventHeader); err != nil {
+			e.err = err
+			return
+		}
+		e.started = true
+	}
+	rec := []string{
+		strconv.Itoa(int(ev.Day)),
+		strconv.Itoa(int(ev.SecOfDay)),
+		strconv.FormatUint(uint64(ev.User), 10),
+		strconv.Itoa(int(ev.Type)),
+		strconv.Itoa(int(ev.Tower)),
+		strconv.Itoa(int(ev.Sector)),
+		strconv.Itoa(int(ev.RAT)),
+		strconv.FormatUint(uint64(ev.TAC), 10),
+		strconv.Itoa(int(ev.PLMN.MCC)),
+		strconv.Itoa(int(ev.PLMN.MNC)),
+		boolStr(ev.OK),
+	}
+	e.err = e.w.Write(rec)
+}
+
+// Flush flushes buffered records and reports the first error seen.
+func (e *EventWriter) Flush() error {
+	e.w.Flush()
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Error()
+}
+
+// EventReader streams events back from CSV.
+type EventReader struct {
+	r *csv.Reader
+}
+
+// NewEventReader validates the header and returns a reader.
+func NewEventReader(r io.Reader) (*EventReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(eventHeader)
+	hdr, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("feeds: reading event header: %w", err)
+	}
+	if !equalRow(hdr, eventHeader) {
+		return nil, ErrBadHeader
+	}
+	return &EventReader{r: cr}, nil
+}
+
+// Read returns the next event; io.EOF at the end of the feed.
+func (e *EventReader) Read() (signaling.Event, error) {
+	rec, err := e.r.Read()
+	if err != nil {
+		return signaling.Event{}, err
+	}
+	ints := make([]int64, 10)
+	for i := 0; i < 10; i++ {
+		v, err := strconv.ParseInt(rec[i], 10, 64)
+		if err != nil {
+			return signaling.Event{}, fmt.Errorf("feeds: bad event field %d %q: %w", i, rec[i], err)
+		}
+		ints[i] = v
+	}
+	ok, err := parseBool(rec[10])
+	if err != nil {
+		return signaling.Event{}, fmt.Errorf("feeds: bad event ok field: %w", err)
+	}
+	if t := ints[3]; t < 0 || t >= int64(signaling.NumEventTypes) {
+		return signaling.Event{}, fmt.Errorf("feeds: event type %d out of range", t)
+	}
+	return signaling.Event{
+		Day:      timegrid.SimDay(ints[0]),
+		SecOfDay: int32(ints[1]),
+		User:     popsim.UserID(ints[2]),
+		Type:     signaling.EventType(ints[3]),
+		Tower:    radio.TowerID(ints[4]),
+		Sector:   uint8(ints[5]),
+		RAT:      radio.RAT(ints[6]),
+		TAC:      devices.TAC(ints[7]),
+		PLMN:     devices.PLMN{MCC: uint16(ints[8]), MNC: uint16(ints[9])},
+		OK:       ok,
+	}, nil
+}
+
+// --- helpers -----------------------------------------------------------------
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func parseBool(s string) (bool, error) {
+	switch s {
+	case "1":
+		return true, nil
+	case "0":
+		return false, nil
+	default:
+		return false, fmt.Errorf("want 0/1, got %q", s)
+	}
+}
+
+func equalRow(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomPoints generates n deterministic points in a box.
+func randomPoints(n int, seed uint64) []Point {
+	src := rng.New(seed)
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(src.Range(0, 700), src.Range(0, 1000))
+	}
+	return pts
+}
+
+// bruteNearest is the reference implementation.
+func bruteNearest(pts []Point, p Point) (int, float64) {
+	best, bestD2 := -1, math.Inf(1)
+	for i, q := range pts {
+		if d2 := q.Dist2(p); d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return best, math.Sqrt(bestD2)
+}
+
+func TestGridNearestMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(500, 1)
+	g := NewGrid(pts, 25)
+	src := rng.New(2)
+	for i := 0; i < 300; i++ {
+		q := Pt(src.Range(-50, 750), src.Range(-50, 1050))
+		gi, gd := g.Nearest(q)
+		bi, bd := bruteNearest(pts, q)
+		if gi != bi && math.Abs(gd-bd) > 1e-9 {
+			t.Fatalf("query %v: grid (%d, %v) vs brute (%d, %v)", q, gi, gd, bi, bd)
+		}
+	}
+}
+
+func TestGridNearestAutoCell(t *testing.T) {
+	pts := randomPoints(200, 3)
+	g := NewGrid(pts, 0) // auto cell size
+	for i, p := range pts {
+		gi, gd := g.Nearest(p)
+		if gd > 1e-9 {
+			t.Fatalf("point %d: self-query distance %v", i, gd)
+		}
+		if pts[gi].Dist(p) > 1e-9 {
+			t.Fatalf("point %d: wrong self match", i)
+		}
+	}
+}
+
+func TestGridWithinMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(400, 4)
+	g := NewGrid(pts, 30)
+	src := rng.New(5)
+	for i := 0; i < 100; i++ {
+		q := Pt(src.Range(0, 700), src.Range(0, 1000))
+		radius := src.Range(5, 120)
+		got := g.Within(nil, q, radius)
+		want := map[int32]bool{}
+		for j, p := range pts {
+			if p.Dist(q) <= radius {
+				want[int32(j)] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %v r=%v: %d hits, want %d", q, radius, len(got), len(want))
+		}
+		for _, idx := range got {
+			if !want[idx] {
+				t.Fatalf("false positive %d", idx)
+			}
+		}
+	}
+}
+
+func TestGridEmptyAndDegenerate(t *testing.T) {
+	g := NewGrid(nil, 10)
+	if g.Len() != 0 {
+		t.Error("empty grid length")
+	}
+	if i, d := g.Nearest(Pt(1, 2)); i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty Nearest = %d, %v", i, d)
+	}
+	if got := g.Within(nil, Pt(0, 0), 10); len(got) != 0 {
+		t.Error("empty Within returned hits")
+	}
+	// All points identical.
+	same := []Point{Pt(5, 5), Pt(5, 5), Pt(5, 5)}
+	g2 := NewGrid(same, 0)
+	if i, d := g2.Nearest(Pt(5, 5)); i < 0 || d > 1e-9 {
+		t.Errorf("identical-point Nearest = %d, %v", i, d)
+	}
+	if got := g2.Within(nil, Pt(5, 5), 0.1); len(got) != 3 {
+		t.Errorf("identical-point Within = %d", len(got))
+	}
+	// Negative radius.
+	if got := g2.Within(nil, Pt(5, 5), -1); len(got) != 0 {
+		t.Error("negative radius returned hits")
+	}
+}
+
+func TestGridNearestProperty(t *testing.T) {
+	pts := randomPoints(150, 6)
+	g := NewGrid(pts, 40)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.Abs(x) > 1e4 || math.Abs(y) > 1e4 {
+			return true
+		}
+		q := Pt(x, y)
+		gi, _ := g.Nearest(q)
+		bi, _ := bruteNearest(pts, q)
+		return pts[gi].Dist(q) <= pts[bi].Dist(q)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithinReusesDst(t *testing.T) {
+	pts := randomPoints(100, 7)
+	g := NewGrid(pts, 20)
+	buf := make([]int32, 0, 64)
+	a := g.Within(buf, Pt(350, 500), 100)
+	b := g.Within(a[:0], Pt(350, 500), 100)
+	if len(a) != len(b) {
+		t.Error("dst reuse changed results")
+	}
+}

@@ -1,0 +1,553 @@
+// Package popsim synthesizes the subscriber population: agents with a
+// home, a personal set of anchor places, a socio-economic profile, a
+// device, and (for a minority) a decision to temporarily relocate during
+// lockdown.
+//
+// The design follows the mobility literature the paper builds on: most
+// people have 3–6 important places and rarely more than 8 (Gonzalez et
+// al. 2008; Isaacman et al. 2011, both cited in §2.3), daily movement is
+// dominated by home/work commuting plus short-range discretionary trips,
+// and trip radii differ systematically across geodemographic clusters —
+// rural residents roam widest, inner-city dwellers move within small but
+// varied neighbourhoods (high entropy, low gyration; §3.2–3.3).
+package popsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/census"
+	"repro/internal/devices"
+	"repro/internal/geo"
+	"repro/internal/pandemic"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Profile is an agent's activity profile; it determines how the agent
+// responds to the interventions (office workers switch to WFH, key
+// workers keep commuting, students lose school trips).
+type Profile int
+
+// Profiles.
+const (
+	OfficeWorker Profile = iota // can work from home
+	KeyWorker                   // health, food retail, logistics: keeps commuting
+	Student                     // school/university; closed from week 12
+	Retired
+	HomeBased   // home-makers, home workers pre-pandemic
+	NumProfiles = int(HomeBased) + 1
+)
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	switch p {
+	case OfficeWorker:
+		return "office-worker"
+	case KeyWorker:
+		return "key-worker"
+	case Student:
+		return "student"
+	case Retired:
+		return "retired"
+	case HomeBased:
+		return "home-based"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// SIMKind distinguishes the subscriber categories §2.3 filters over.
+type SIMKind int
+
+// SIM kinds.
+const (
+	NativeSmartphone SIMKind = iota // the analysis population
+	NativeM2M                       // machine-to-machine SIMs (dropped)
+	InboundRoamer                   // foreign subscribers (dropped)
+)
+
+// AnchorKind labels an agent's important places.
+type AnchorKind int
+
+// Anchor kinds.
+const (
+	AnchorHome    AnchorKind = iota
+	AnchorWork               // workplace or school
+	AnchorErrand             // shopping, gym, worship, family …
+	AnchorLeisure            // parks, venues, nightlife
+)
+
+// Anchor is one important place of an agent, pinned to a radio tower.
+type Anchor struct {
+	Kind     AnchorKind
+	Tower    radio.TowerID
+	District census.DistrictID
+	// Weight is the relative propensity to visit this anchor on a
+	// discretionary trip.
+	Weight float64
+}
+
+// UserID identifies an agent.
+type UserID uint32
+
+// User is one synthetic subscriber.
+type User struct {
+	ID      UserID
+	Kind    SIMKind
+	Profile Profile
+	Device  devices.Entry
+	PLMN    devices.PLMN
+
+	HomeDistrict census.DistrictID
+	HomeCounty   census.CountyID
+	HomeTower    radio.TowerID
+	Cluster      census.Cluster
+
+	// Anchors always starts with home ([0]) and, for commuters, work
+	// ([1]); discretionary anchors follow. len is 3–8.
+	Anchors []Anchor
+
+	// Relocates marks agents (students, long-term tourists, second-home
+	// owners) who leave their primary residence for the lockdown.
+	Relocates     bool
+	RelocTower    radio.TowerID
+	RelocDistrict census.DistrictID
+	RelocCounty   census.CountyID
+
+	// NightOff is the probability that the agent's phone is off (or out
+	// of coverage) during the night bins of a given day. A minority of
+	// users switch phones off overnight, which is why the paper's
+	// home-detection rule (≥14 observed nights) finds homes for only
+	// ~16M of ~22M users.
+	NightOff float64
+}
+
+// Worker reports whether the agent has a work/school anchor.
+func (u *User) Worker() bool {
+	return u.Profile == OfficeWorker || u.Profile == KeyWorker || u.Profile == Student
+}
+
+// Config controls population synthesis.
+type Config struct {
+	Seed           uint64
+	TargetUsers    int     // native smartphone agents to synthesize
+	M2MFraction    float64 // extra M2M SIMs, as a fraction of TargetUsers
+	RoamerFraction float64 // extra inbound-roamer SIMs, idem
+}
+
+// DefaultConfig returns the scale used by the experiments: large enough
+// for stable medians, small enough for fast tests.
+func DefaultConfig() Config {
+	return Config{Seed: 1, TargetUsers: 8000, M2MFraction: 0.08, RoamerFraction: 0.03}
+}
+
+// Population is the synthesized subscriber base.
+type Population struct {
+	Users []User
+
+	model *census.Model
+	topo  *radio.Topology
+
+	native       []UserID // indices of native smartphones
+	byHomeCounty map[census.CountyID][]UserID
+	scale        float64 // agents per census person
+}
+
+// profileWeights returns the profile distribution for a cluster,
+// following the Table 1 pen portraits (students in Cosmopolitans,
+// retirees in Suburbanites and Rural Residents, unemployment in
+// Constrained City Dwellers and Hard-pressed Living).
+func profileWeights(c census.Cluster) [NumProfiles]float64 {
+	switch c {
+	case census.Cosmopolitans:
+		return [NumProfiles]float64{0.38, 0.10, 0.34, 0.04, 0.14}
+	case census.EthnicityCentral:
+		return [NumProfiles]float64{0.36, 0.18, 0.18, 0.08, 0.20}
+	case census.MulticulturalMetropolitans:
+		return [NumProfiles]float64{0.34, 0.20, 0.16, 0.10, 0.20}
+	case census.Urbanites:
+		return [NumProfiles]float64{0.44, 0.12, 0.10, 0.16, 0.18}
+	case census.Suburbanites:
+		return [NumProfiles]float64{0.36, 0.10, 0.12, 0.26, 0.16}
+	case census.ConstrainedCityDwellers:
+		return [NumProfiles]float64{0.24, 0.16, 0.10, 0.22, 0.28}
+	case census.HardPressedLiving:
+		return [NumProfiles]float64{0.26, 0.20, 0.12, 0.18, 0.24}
+	case census.RuralResidents:
+		return [NumProfiles]float64{0.30, 0.12, 0.08, 0.30, 0.20}
+	default:
+		return [NumProfiles]float64{0.35, 0.15, 0.15, 0.15, 0.20}
+	}
+}
+
+// anchorRadiusKm returns the typical distance scale of discretionary
+// anchors for a cluster: rural residents cover wide areas, inner-city
+// clusters live in compact neighbourhoods.
+func anchorRadiusKm(c census.Cluster) float64 {
+	switch c {
+	case census.RuralResidents:
+		return 24
+	case census.EthnicityCentral:
+		// The most compact neighbourhoods: daily life within walking
+		// distance, so the commute dominates the baseline gyration and
+		// its removal under lockdown produces the largest relative drop
+		// of all clusters (§3.3).
+		return 3.2
+	case census.Cosmopolitans:
+		return 5.0
+	case census.MulticulturalMetropolitans, census.ConstrainedCityDwellers:
+		return 7
+	case census.Urbanites:
+		return 13.5
+	case census.Suburbanites:
+		return 12.5
+	case census.HardPressedLiving:
+		return 10
+	default:
+		return 10
+	}
+}
+
+// anchorCount draws the number of discretionary anchors: total important
+// places land in the 3–8 range of the literature, with inner-city
+// clusters at the high end (more places, higher entropy).
+func anchorCount(c census.Cluster, src *rng.Source) int {
+	lo, hi := 1, 4
+	switch c {
+	case census.Cosmopolitans, census.EthnicityCentral:
+		lo, hi = 3, 6
+	case census.MulticulturalMetropolitans, census.ConstrainedCityDwellers:
+		lo, hi = 2, 5
+	case census.RuralResidents, census.Suburbanites:
+		lo, hi = 1, 3
+	}
+	return src.IntRange(lo, hi)
+}
+
+// Synthesize builds the population over the census model and radio
+// topology, with relocation decisions drawn against the scenario. The
+// result is deterministic in (model, topo, scenario identity, cfg).
+func Synthesize(model *census.Model, topo *radio.Topology, scen *pandemic.Scenario, cfg Config) *Population {
+	if cfg.TargetUsers <= 0 {
+		cfg = DefaultConfig()
+	}
+	master := rng.New(rng.Hash64(cfg.Seed ^ 0x9090))
+	p := &Population{
+		model:        model,
+		topo:         topo,
+		byHomeCounty: make(map[census.CountyID][]UserID),
+		scale:        float64(cfg.TargetUsers) / float64(model.TotalPopulation()),
+	}
+	catalog := devices.NewCatalog()
+
+	destNames, destWeights := pandemic.RelocationDestinations()
+
+	// Native smartphone agents, distributed per district population.
+	// The MNO's market share varies across districts (stronger in some
+	// regions than others), which is why the paper's census validation
+	// reaches r² = 0.955 rather than a perfect fit (Fig. 2); we model
+	// the same dispersion with a deterministic per-district factor.
+	for di := range model.Districts {
+		d := &model.Districts[di]
+		shareJitter := master.Split2(0x5A4E, uint64(di)).Range(0.90, 1.12)
+		n := int(math.Round(float64(d.Population) * p.scale * shareJitter))
+		if n < 1 {
+			n = 1
+		}
+		dsrc := master.Split(uint64(di))
+		for i := 0; i < n; i++ {
+			usrc := dsrc.Split(uint64(i))
+			u := p.newNativeUser(d, catalog, scen, usrc, destNames, destWeights)
+			p.byHomeCounty[u.HomeCounty] = append(p.byHomeCounty[u.HomeCounty], u.ID)
+			p.native = append(p.native, u.ID)
+		}
+	}
+
+	// M2M SIMs and inbound roamers: present in the signalling feed, and
+	// filtered out by the §2.3 pipeline.
+	m2m := int(float64(cfg.TargetUsers) * cfg.M2MFraction)
+	for i := 0; i < m2m; i++ {
+		src := master.Split2(0xAA, uint64(i))
+		d := &model.Districts[src.Intn(len(model.Districts))]
+		u := User{
+			ID:           UserID(len(p.Users)),
+			Kind:         NativeM2M,
+			Device:       catalog.AssignM2MDevice(src),
+			PLMN:         devices.HomePLMN,
+			HomeDistrict: d.ID,
+			HomeCounty:   d.County,
+			HomeTower:    topo.PickTower(d.ID, 0, src),
+			Cluster:      d.Cluster,
+			Profile:      HomeBased,
+		}
+		u.Anchors = []Anchor{{Kind: AnchorHome, Tower: u.HomeTower, District: d.ID, Weight: 1}}
+		p.Users = append(p.Users, u)
+	}
+	roamers := int(float64(cfg.TargetUsers) * cfg.RoamerFraction)
+	for i := 0; i < roamers; i++ {
+		src := master.Split2(0xBB, uint64(i))
+		// Roamers concentrate in central, touristic districts.
+		d := p.pickVisitorDistrict(src)
+		u := User{
+			ID:           UserID(len(p.Users)),
+			Kind:         InboundRoamer,
+			Device:       catalog.AssignDevice(src),
+			PLMN:         devices.RoamerPLMN(src),
+			HomeDistrict: d.ID,
+			HomeCounty:   d.County,
+			HomeTower:    topo.PickTower(d.ID, 0, src),
+			Cluster:      d.Cluster,
+			Profile:      HomeBased,
+		}
+		u.Anchors = []Anchor{{Kind: AnchorHome, Tower: u.HomeTower, District: d.ID, Weight: 1}}
+		p.Users = append(p.Users, u)
+	}
+	return p
+}
+
+// newNativeUser synthesizes one native smartphone agent homed in d.
+func (p *Population) newNativeUser(d *census.District, catalog *devices.Catalog, scen *pandemic.Scenario, src *rng.Source, destNames []string, destWeights []float64) *User {
+	model, topo := p.model, p.topo
+	u := User{
+		ID:           UserID(len(p.Users)),
+		Kind:         NativeSmartphone,
+		Device:       catalog.AssignSmartphone(src),
+		PLMN:         devices.HomePLMN,
+		HomeDistrict: d.ID,
+		HomeCounty:   d.County,
+		HomeTower:    topo.PickTower(d.ID, 0, src),
+		Cluster:      d.Cluster,
+	}
+	w := profileWeights(d.Cluster)
+	u.Profile = Profile(src.Pick(w[:]))
+	if src.Bool(0.20) {
+		u.NightOff = src.Range(0.55, 0.90)
+	}
+
+	u.Anchors = append(u.Anchors, Anchor{Kind: AnchorHome, Tower: u.HomeTower, District: d.ID, Weight: 1})
+
+	// London is compact: whatever the cluster, daily life in the
+	// metropolis happens over shorter distances than the same cluster
+	// elsewhere (the paper's London reference gyration sits ~20% below
+	// the national average, §3.2).
+	kind := model.County(d.County).Kind
+	isLondon := kind == census.KindMetroCore || kind == census.KindMetroSuburb
+
+	if u.Profile == OfficeWorker || u.Profile == KeyWorker || u.Profile == Student {
+		wd := p.pickWorkDistrict(&u, src)
+		u.Anchors = append(u.Anchors, Anchor{
+			Kind:     AnchorWork,
+			Tower:    topo.PickTower(wd, 0, src),
+			District: wd,
+			Weight:   1,
+		})
+	}
+
+	// Discretionary anchors within the cluster's radius of home.
+	homeLoc := topo.Tower(u.HomeTower).Loc
+	radius := anchorRadiusKm(d.Cluster)
+	if isLondon && radius > 5.0 {
+		radius = 5.0
+	}
+	n := anchorCount(d.Cluster, src)
+	for i := 0; i < n; i++ {
+		dist := src.Exp(radius / 2)
+		if dist > radius*2.5 {
+			dist = radius * 2.5
+		}
+		angle := src.Range(0, 2*math.Pi)
+		target := homeLoc.Add(geo.Pt(dist*math.Cos(angle), dist*math.Sin(angle)))
+		ad := p.nearestDistrict(target, d.County)
+		kind := AnchorErrand
+		if src.Bool(0.4) {
+			kind = AnchorLeisure
+		}
+		u.Anchors = append(u.Anchors, Anchor{
+			Kind:     kind,
+			Tower:    topo.PickTower(ad, 0, src),
+			District: ad,
+			Weight:   src.Range(0.3, 1.0),
+		})
+	}
+
+	// Relocation decision (§3.4).
+	if scen != nil && src.Bool(scen.RelocationProb(d)) {
+		u.Relocates = true
+		var destCounty *census.County
+		if model.County(d.County).Kind == census.KindMetroCore || model.County(d.County).Kind == census.KindMetroSuburb {
+			name := destNames[src.Pick(destWeights)]
+			c, ok := model.CountyByName(name)
+			if !ok {
+				c = model.County(d.County)
+			}
+			destCounty = c
+		} else {
+			// Non-London seasonal residents scatter to rural/mixed counties.
+			destCounty = p.pickRuralCounty(src)
+		}
+		dd := p.pickResidentialDistrict(destCounty, src)
+		u.RelocCounty = destCounty.ID
+		u.RelocDistrict = dd
+		u.RelocTower = topo.PickTower(dd, 0, src)
+	}
+
+	p.Users = append(p.Users, u)
+	return &p.Users[len(p.Users)-1]
+}
+
+// pickWorkDistrict draws a workplace by a gravity rule: districts attract
+// commuters proportionally to their day-visitor weight and inversely to
+// (squared, floored) distance. Students attend school near home.
+func (p *Population) pickWorkDistrict(u *User, src *rng.Source) census.DistrictID {
+	if u.Profile == Student {
+		// Schools are local; universities draw across the county.
+		if src.Bool(0.7) {
+			return u.HomeDistrict
+		}
+		c := p.model.County(u.HomeCounty)
+		return c.Districts[src.Intn(len(c.Districts))]
+	}
+	homeLoc := p.topo.Tower(u.HomeTower).Loc
+	homeKind := p.model.County(u.HomeCounty).Kind
+	// Commuter-belt flows into central London: Outer London (and, less
+	// often, the home counties) send large worker flows into the Inner
+	// London core — the mechanism behind the paper's Inner/Outer London
+	// divergence during lockdown (§4.3: Inner London UL −22% in week 14
+	// versus Outer London +17% as commuters stay home).
+	coreProb := 0.0
+	switch homeKind {
+	case census.KindMetroSuburb:
+		coreProb = 0.25
+	case census.KindHomeCounties:
+		coreProb = 0.15
+	}
+	if coreProb > 0 && src.Bool(coreProb) {
+		core := p.model.InnerLondon()
+		weights := make([]float64, len(core.Districts))
+		for i, did := range core.Districts {
+			weights[i] = p.model.District(did).DayVisitorWeight
+		}
+		return core.Districts[src.Pick(weights)]
+	}
+	// Candidate districts: all of the home county plus all districts of
+	// counties whose centres are within commuting range.
+	const commuteKm = 55.0
+	var cands []census.DistrictID
+	var weights []float64
+	for ci := range p.model.Counties {
+		c := &p.model.Counties[ci]
+		if c.ID != u.HomeCounty && c.Area.Center.Dist(homeLoc) > commuteKm+c.Area.Radius {
+			continue
+		}
+		for _, did := range c.Districts {
+			d := p.model.District(did)
+			dist := d.Area.Center.Dist(homeLoc)
+			if d.County != u.HomeCounty && dist > commuteKm {
+				continue
+			}
+			floor := 3.0
+			if dist < floor {
+				dist = floor
+			}
+			cands = append(cands, did)
+			weights = append(weights, d.DayVisitorWeight/(dist*dist))
+		}
+	}
+	if len(cands) == 0 {
+		return u.HomeDistrict
+	}
+	return cands[src.Pick(weights)]
+}
+
+// nearestDistrict returns the district whose centre is closest to the
+// point, preferring districts of the given county on ties of convenience
+// (cheap linear scan over ~120 districts).
+func (p *Population) nearestDistrict(pt geo.Point, prefer census.CountyID) census.DistrictID {
+	best := census.DistrictID(0)
+	bestDist := math.Inf(1)
+	for i := range p.model.Districts {
+		d := &p.model.Districts[i]
+		dd := d.Area.Center.Dist(pt)
+		if d.County == prefer {
+			dd *= 0.8 // mild preference for staying within the home county
+		}
+		if dd < bestDist {
+			bestDist = dd
+			best = d.ID
+		}
+	}
+	return best
+}
+
+// pickVisitorDistrict draws a district weighted by day-visitor weight
+// (where roamers/tourists cluster).
+func (p *Population) pickVisitorDistrict(src *rng.Source) *census.District {
+	weights := make([]float64, len(p.model.Districts))
+	for i := range p.model.Districts {
+		weights[i] = p.model.Districts[i].DayVisitorWeight
+	}
+	return &p.model.Districts[src.Pick(weights)]
+}
+
+// pickRuralCounty draws a rural or mixed county.
+func (p *Population) pickRuralCounty(src *rng.Source) *census.County {
+	var cands []*census.County
+	for i := range p.model.Counties {
+		c := &p.model.Counties[i]
+		if c.Kind == census.KindRural || c.Kind == census.KindMixed {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return &p.model.Counties[0]
+	}
+	return cands[src.Intn(len(cands))]
+}
+
+// pickResidentialDistrict draws a district of the county weighted by
+// resident population.
+func (p *Population) pickResidentialDistrict(c *census.County, src *rng.Source) census.DistrictID {
+	weights := make([]float64, len(c.Districts))
+	for i, did := range c.Districts {
+		weights[i] = float64(p.model.District(did).Population)
+	}
+	return c.Districts[src.Pick(weights)]
+}
+
+// Model returns the underlying census model.
+func (p *Population) Model() *census.Model { return p.model }
+
+// Topology returns the underlying radio topology.
+func (p *Population) Topology() *radio.Topology { return p.topo }
+
+// Scale returns agents per census person.
+func (p *Population) Scale() float64 { return p.scale }
+
+// Native returns the IDs of native smartphone agents (the §2.3 analysis
+// population).
+func (p *Population) Native() []UserID { return p.native }
+
+// User returns the agent with the given ID.
+func (p *Population) User(id UserID) *User { return &p.Users[id] }
+
+// NativeInCounty returns native smartphone agents homed in the county.
+func (p *Population) NativeInCounty(c census.CountyID) []UserID {
+	ids := p.byHomeCounty[c]
+	out := make([]UserID, 0, len(ids))
+	for _, id := range ids {
+		if p.Users[id].Kind == NativeSmartphone {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CountByKind tallies the population per SIM kind.
+func (p *Population) CountByKind() map[SIMKind]int {
+	out := make(map[SIMKind]int, 3)
+	for i := range p.Users {
+		out[p.Users[i].Kind]++
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package radio
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/census"
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// Environment classifies the radio propagation environment of a
+// district; it selects the path-loss exponent of the log-distance model.
+type Environment int
+
+// Propagation environments.
+const (
+	EnvDenseUrban Environment = iota
+	EnvUrban
+	EnvSuburban
+	EnvRural
+)
+
+// String implements fmt.Stringer.
+func (e Environment) String() string {
+	switch e {
+	case EnvDenseUrban:
+		return "dense-urban"
+	case EnvUrban:
+		return "urban"
+	case EnvSuburban:
+		return "suburban"
+	default:
+		return "rural"
+	}
+}
+
+// EnvironmentOf derives the environment from a district's
+// geodemographic cluster (dense clutter in city centres, open terrain in
+// the countryside).
+func EnvironmentOf(d *census.District) Environment {
+	switch d.Cluster {
+	case census.Cosmopolitans, census.EthnicityCentral:
+		return EnvDenseUrban
+	case census.MulticulturalMetropolitans, census.ConstrainedCityDwellers:
+		return EnvUrban
+	case census.Urbanites, census.Suburbanites, census.HardPressedLiving:
+		return EnvSuburban
+	default:
+		return EnvRural
+	}
+}
+
+// pathLossExponent returns the log-distance exponent per environment.
+func pathLossExponent(e Environment) float64 {
+	switch e {
+	case EnvDenseUrban:
+		return 3.8
+	case EnvUrban:
+		return 3.5
+	case EnvSuburban:
+		return 3.2
+	default:
+		return 2.9
+	}
+}
+
+// Propagation constants of the simplified link budget.
+const (
+	// refLossDB is the path loss at the 0.1 km reference distance
+	// (~2 GHz macro cell).
+	refLossDB = 95.0
+	refDistKm = 0.1
+	// txPowerDBm is the cell's transmit power incl. antenna gain.
+	txPowerDBm = 46.0
+	// minServableDBm is the receive level below which a tower cannot
+	// serve at all.
+	minServableDBm = -125.0
+	// shadowingStdDB is the log-normal shadowing deviation applied when
+	// a deterministic jitter source is supplied.
+	shadowingStdDB = 6.0
+)
+
+// PathLossDB returns the log-distance path loss in dB at distKm in the
+// given environment. Distances below the reference are clamped.
+func PathLossDB(distKm float64, env Environment) float64 {
+	if distKm < refDistKm {
+		distKm = refDistKm
+	}
+	return refLossDB + 10*pathLossExponent(env)*math.Log10(distKm/refDistKm)
+}
+
+// RxPowerDBm returns the received power from a tower at point p, with
+// optional deterministic log-normal shadowing drawn from src (pass nil
+// for the median link).
+func (t *Topology) RxPowerDBm(tw TowerID, p geo.Point, src *rng.Source) float64 {
+	tower := t.Tower(tw)
+	env := EnvironmentOf(t.model.District(tower.District))
+	rx := txPowerDBm - PathLossDB(tower.Loc.Dist(p), env)
+	if src != nil {
+		// Shadowing is keyed by the (tower, caller stream) pair so the
+		// same query stream sees a stable radio map.
+		rx += src.Split(uint64(tw)).NormRange(0, shadowingStdDB)
+	}
+	return rx
+}
+
+// Server is one candidate serving tower with its receive level.
+type Server struct {
+	Tower TowerID
+	RxDBm float64
+}
+
+// candidateTowers returns the towers plausibly audible at p: every site
+// within reachKm, via the spatial index.
+func (t *Topology) candidateTowers(p geo.Point, reachKm float64) []TowerID {
+	return t.TowersWithin(p, reachKm)
+}
+
+// StrongestServers returns the k strongest audible towers at p, ordered
+// by descending receive level (median link, no shadowing). Towers below
+// the servable floor are excluded; if nothing is audible the nearest
+// tower is returned as a last resort.
+func (t *Topology) StrongestServers(p geo.Point, k int) []Server {
+	const reachKm = 20.0
+	cands := t.candidateTowers(p, reachKm)
+	servers := make([]Server, 0, len(cands))
+	for _, tw := range cands {
+		rx := t.RxPowerDBm(tw, p, nil)
+		if rx < minServableDBm {
+			continue
+		}
+		servers = append(servers, Server{Tower: tw, RxDBm: rx})
+	}
+	if len(servers) == 0 {
+		nearest := t.NearestTower(p)
+		return []Server{{Tower: nearest, RxDBm: t.RxPowerDBm(nearest, p, nil)}}
+	}
+	sort.Slice(servers, func(i, j int) bool {
+		if servers[i].RxDBm != servers[j].RxDBm {
+			return servers[i].RxDBm > servers[j].RxDBm
+		}
+		return servers[i].Tower < servers[j].Tower
+	})
+	if k > 0 && len(servers) > k {
+		servers = servers[:k]
+	}
+	return servers
+}
+
+// ServingTower returns the strongest server at p.
+func (t *Topology) ServingTower(p geo.Point) TowerID {
+	return t.StrongestServers(p, 1)[0].Tower
+}
+
+// ReselectionNeighbor returns the best alternate server at p other than
+// the given tower — the cell an idle phone camped at p bounces to. It
+// returns exclude itself when no alternative is audible.
+func (t *Topology) ReselectionNeighbor(p geo.Point, exclude TowerID) TowerID {
+	for _, s := range t.StrongestServers(p, 3) {
+		if s.Tower != exclude {
+			return s.Tower
+		}
+	}
+	return exclude
+}

@@ -1,0 +1,152 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+func TestPathLossMonotone(t *testing.T) {
+	for env := EnvDenseUrban; env <= EnvRural; env++ {
+		prev := -1.0
+		for d := 0.1; d < 30; d *= 1.5 {
+			pl := PathLossDB(d, env)
+			if pl <= prev {
+				t.Fatalf("path loss not increasing at %v km (%v)", d, env)
+			}
+			prev = pl
+		}
+	}
+	// Reference clamp: anything below the reference distance equals the
+	// reference loss.
+	if PathLossDB(0.01, EnvUrban) != PathLossDB(0.1, EnvUrban) {
+		t.Error("sub-reference distances should clamp")
+	}
+}
+
+func TestPathLossEnvironmentOrdering(t *testing.T) {
+	// At any distance beyond the reference, denser clutter loses more.
+	for _, d := range []float64{0.5, 2, 10} {
+		du := PathLossDB(d, EnvDenseUrban)
+		u := PathLossDB(d, EnvUrban)
+		su := PathLossDB(d, EnvSuburban)
+		r := PathLossDB(d, EnvRural)
+		if !(du > u && u > su && su > r) {
+			t.Fatalf("environment ordering broken at %v km: %v %v %v %v", d, du, u, su, r)
+		}
+	}
+}
+
+func TestEnvironmentOf(t *testing.T) {
+	m := census.BuildUK(1)
+	ec, _ := m.DistrictByCode("EC")
+	if EnvironmentOf(ec) != EnvDenseUrban {
+		t.Error("EC should be dense urban")
+	}
+	found := false
+	for i := range m.Districts {
+		if m.Districts[i].Cluster == census.RuralResidents {
+			if EnvironmentOf(&m.Districts[i]) != EnvRural {
+				t.Error("rural district not rural environment")
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no rural district")
+	}
+	for e := EnvDenseUrban; e <= EnvRural; e++ {
+		if e.String() == "" {
+			t.Error("environment unnamed")
+		}
+	}
+}
+
+func TestServingTowerIsStrong(t *testing.T) {
+	m := census.BuildUK(1)
+	topo := Build(m, DefaultConfig(), 1)
+	// At a tower's own location, the serving tower is (essentially)
+	// itself: same receive level, possibly tied with a co-located site.
+	for i := 0; i < len(topo.Towers); i += 97 {
+		tw := &topo.Towers[i]
+		serving := topo.ServingTower(tw.Loc)
+		own := topo.RxPowerDBm(tw.ID, tw.Loc, nil)
+		best := topo.RxPowerDBm(serving, tw.Loc, nil)
+		if best < own-1e-9 {
+			t.Fatalf("serving tower weaker than the co-located site: %v < %v", best, own)
+		}
+	}
+}
+
+func TestStrongestServersOrderedAndBounded(t *testing.T) {
+	m := census.BuildUK(1)
+	topo := Build(m, DefaultConfig(), 1)
+	p := topo.Towers[10].Loc.Add(geo.Pt(0.7, -0.4))
+	servers := topo.StrongestServers(p, 5)
+	if len(servers) == 0 || len(servers) > 5 {
+		t.Fatalf("servers = %d", len(servers))
+	}
+	for i := 1; i < len(servers); i++ {
+		if servers[i].RxDBm > servers[i-1].RxDBm {
+			t.Fatal("servers not sorted by level")
+		}
+	}
+	for _, s := range servers {
+		if s.RxDBm < minServableDBm {
+			t.Fatal("unservable tower returned")
+		}
+	}
+}
+
+func TestStrongestServersRemoteFallback(t *testing.T) {
+	m := census.BuildUK(1)
+	topo := Build(m, DefaultConfig(), 1)
+	// A point in the middle of the sea: nothing audible, fall back to
+	// the nearest site.
+	servers := topo.StrongestServers(geo.Pt(-500, -500), 3)
+	if len(servers) != 1 {
+		t.Fatalf("remote fallback returned %d servers", len(servers))
+	}
+	if servers[0].Tower != topo.NearestTower(geo.Pt(-500, -500)) {
+		t.Error("fallback is not the nearest tower")
+	}
+}
+
+func TestReselectionNeighbor(t *testing.T) {
+	m := census.BuildUK(1)
+	topo := Build(m, DefaultConfig(), 1)
+	hits := 0
+	for i := 0; i < len(topo.Towers); i += 53 {
+		tw := &topo.Towers[i]
+		alt := topo.ReselectionNeighbor(tw.Loc, tw.ID)
+		if alt != tw.ID {
+			hits++
+			// The neighbour must be audible at the location.
+			if topo.RxPowerDBm(alt, tw.Loc, nil) < minServableDBm {
+				t.Fatalf("reselection neighbour inaudible")
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("no tower has any reselection neighbour — estate too sparse?")
+	}
+}
+
+func TestShadowingDeterministic(t *testing.T) {
+	m := census.BuildUK(1)
+	topo := Build(m, DefaultConfig(), 1)
+	p := topo.Towers[3].Loc.Add(geo.Pt(1, 1))
+	a := topo.RxPowerDBm(3, p, rng.New(7))
+	b := topo.RxPowerDBm(3, p, rng.New(7))
+	if a != b {
+		t.Error("shadowing not deterministic for identical streams")
+	}
+	med := topo.RxPowerDBm(3, p, nil)
+	if math.Abs(a-med) > 4*shadowingStdDB {
+		t.Errorf("shadowed level %v implausibly far from median %v", a, med)
+	}
+}

@@ -1,0 +1,206 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/rng"
+	"repro/internal/timegrid"
+)
+
+func buildTest(t *testing.T) (*census.Model, *Topology) {
+	t.Helper()
+	m := census.BuildUK(1)
+	topo := Build(m, DefaultConfig(), 1)
+	return m, topo
+}
+
+func TestBuildTopologyBasics(t *testing.T) {
+	m, topo := buildTest(t)
+	if len(topo.Towers) == 0 || len(topo.Cells) == 0 {
+		t.Fatal("empty topology")
+	}
+	// Every district has at least one tower.
+	for i := range m.Districts {
+		if len(topo.TowersInDistrict(census.DistrictID(i))) == 0 {
+			t.Errorf("district %s has no towers", m.Districts[i].Code)
+		}
+	}
+	// Towers carry consistent geography and all have 4G.
+	for i := range topo.Towers {
+		tw := &topo.Towers[i]
+		if tw.ID != TowerID(i) {
+			t.Fatalf("tower %d mis-IDed", i)
+		}
+		d := m.District(tw.District)
+		if d.County != tw.County {
+			t.Errorf("tower %d county mismatch", i)
+		}
+		if !tw.HasRAT[RAT4G] {
+			t.Errorf("tower %d lacks 4G", i)
+		}
+		if tw.Sectors <= 0 {
+			t.Errorf("tower %d has %d sectors", i, tw.Sectors)
+		}
+		if !d.Area.Contains(tw.Loc) {
+			t.Errorf("tower %d outside its district disc", i)
+		}
+	}
+}
+
+func TestCellsConsistent(t *testing.T) {
+	_, topo := buildTest(t)
+	count4g := 0
+	for i := range topo.Cells {
+		c := &topo.Cells[i]
+		if c.ID != CellID(i) {
+			t.Fatalf("cell %d mis-IDed", i)
+		}
+		tw := topo.Tower(c.Tower)
+		if !tw.HasRAT[c.RAT] {
+			t.Errorf("cell %d on RAT %v not supported by tower", i, c.RAT)
+		}
+		if c.Sector < 0 || c.Sector >= tw.Sectors {
+			t.Errorf("cell %d sector %d out of range", i, c.Sector)
+		}
+		if c.RAT == RAT4G {
+			count4g++
+		}
+	}
+	if got := len(topo.Cells4G()); got != count4g {
+		t.Errorf("Cells4G() = %d, counted %d", got, count4g)
+	}
+	// Per-tower indices are complete.
+	total, total4g := 0, 0
+	for i := range topo.Towers {
+		id := TowerID(i)
+		total += len(topo.CellsOfTower(id))
+		total4g += len(topo.Cells4GOfTower(id))
+		for _, cid := range topo.Cells4GOfTower(id) {
+			if topo.Cell(cid).RAT != RAT4G {
+				t.Errorf("non-4G cell in 4G index")
+			}
+		}
+	}
+	if total != len(topo.Cells) || total4g != count4g {
+		t.Errorf("index totals %d/%d vs %d/%d", total, total4g, len(topo.Cells), count4g)
+	}
+}
+
+func TestDeploymentDensityFollowsDemand(t *testing.T) {
+	m, topo := buildTest(t)
+	ec, _ := m.DistrictByCode("EC")
+	sw, _ := m.DistrictByCode("SW")
+	ecTowers := len(topo.TowersInDistrict(ec.ID))
+	swTowers := len(topo.TowersInDistrict(sw.ID))
+	// EC has 13× fewer residents but huge visitor weight: its per-capita
+	// radio capacity must far exceed SW's.
+	ecPerCapita := float64(ecTowers) / float64(ec.Population)
+	swPerCapita := float64(swTowers) / float64(sw.Population)
+	if ecPerCapita < 5*swPerCapita {
+		t.Errorf("EC per-capita towers %v, SW %v: CBD should be much denser", ecPerCapita, swPerCapita)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := census.BuildUK(1)
+	a := Build(m, DefaultConfig(), 42)
+	b := Build(m, DefaultConfig(), 42)
+	if len(a.Towers) != len(b.Towers) {
+		t.Fatal("tower counts differ")
+	}
+	for i := range a.Towers {
+		if a.Towers[i].Loc != b.Towers[i].Loc || a.Towers[i].ActivationDay != b.Towers[i].ActivationDay {
+			t.Fatalf("tower %d differs across identical builds", i)
+		}
+	}
+}
+
+func TestActivationAndSnapshot(t *testing.T) {
+	m := census.BuildUK(1)
+	cfg := DefaultConfig()
+	cfg.NewSiteFraction = 0.2 // force plenty of new sites
+	topo := Build(m, cfg, 3)
+	s0 := topo.SnapshotOn(0)
+	sEnd := topo.SnapshotOn(timegrid.SimDays - 1)
+	if s0.TotalTowers != len(topo.Towers) || sEnd.TotalTowers != len(topo.Towers) {
+		t.Error("snapshot total wrong")
+	}
+	if s0.ActiveTowers >= sEnd.ActiveTowers {
+		t.Errorf("active towers should grow: day0 %d, end %d", s0.ActiveTowers, sEnd.ActiveTowers)
+	}
+	if sEnd.ActiveTowers != len(topo.Towers) {
+		t.Errorf("all towers active by the last day: %d/%d", sEnd.ActiveTowers, len(topo.Towers))
+	}
+	// ActiveTowersInDistrict respects activation.
+	for i := range m.Districts {
+		did := census.DistrictID(i)
+		if len(topo.ActiveTowersInDistrict(did, 0)) > len(topo.TowersInDistrict(did)) {
+			t.Fatal("active > total")
+		}
+	}
+}
+
+func TestPickTower(t *testing.T) {
+	m, topo := buildTest(t)
+	src := rng.New(5)
+	for i := 0; i < 50; i++ {
+		did := census.DistrictID(src.Intn(len(m.Districts)))
+		tw := topo.PickTower(did, 0, src)
+		if topo.Tower(tw).District != did {
+			t.Fatalf("PickTower returned tower of another district")
+		}
+	}
+}
+
+func TestNearestTower(t *testing.T) {
+	_, topo := buildTest(t)
+	for i := 0; i < 20; i++ {
+		want := &topo.Towers[i*7%len(topo.Towers)]
+		got := topo.NearestTower(want.Loc)
+		if topo.Tower(got).Loc.Dist(want.Loc) > 1e-9 {
+			t.Errorf("NearestTower(%v) returned a farther tower", want.Loc)
+		}
+	}
+}
+
+func TestRATShare(t *testing.T) {
+	_, topo := buildTest(t)
+	shares := topo.RATShare()
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("RAT shares sum to %v", sum)
+	}
+	if shares[RAT4G] < shares[RAT2G] {
+		t.Error("4G should have at least as many cells as 2G")
+	}
+}
+
+func TestDistrictCountyOfCell(t *testing.T) {
+	m, topo := buildTest(t)
+	for i := 0; i < len(topo.Cells); i += 17 {
+		id := CellID(i)
+		d := topo.DistrictOfCell(id)
+		c := topo.CountyOfCell(id)
+		if m.District(d).County != c {
+			t.Fatalf("cell %d district/county inconsistent", i)
+		}
+	}
+}
+
+func TestRATStrings(t *testing.T) {
+	if RAT2G.String() != "2G" || RAT3G.String() != "3G" || RAT4G.String() != "4G" {
+		t.Error("RAT strings wrong")
+	}
+}
+
+func TestZeroConfigFallsBack(t *testing.T) {
+	m := census.BuildUK(1)
+	topo := Build(m, Config{}, 1)
+	if len(topo.Towers) == 0 {
+		t.Fatal("zero config should fall back to defaults")
+	}
+}

@@ -1,0 +1,151 @@
+package signaling
+
+import (
+	"repro/internal/census"
+	"repro/internal/devices"
+	"repro/internal/mobsim"
+	"repro/internal/popsim"
+	"repro/internal/radio"
+	"repro/internal/timegrid"
+)
+
+// Aggregator reduces a raw event stream to the postcode-level feed the
+// paper actually analyses ("these feeds are aggregated at postcode level
+// or larger granularity", §2.2): per-district per-type counts, failure
+// tallies, distinct-user reach and RAT usage.
+type Aggregator struct {
+	topo *radio.Topology
+
+	ByDistrict map[census.DistrictID]*DistrictCounts
+	ByType     [NumEventTypes]int64
+	Failures   int64
+	Total      int64
+	usersSeen  map[popsim.UserID]bool
+}
+
+// DistrictCounts is the per-postcode aggregate.
+type DistrictCounts struct {
+	ByType   [NumEventTypes]int64
+	Failures int64
+	Total    int64
+}
+
+// NewAggregator builds an aggregator over a topology.
+func NewAggregator(topo *radio.Topology) *Aggregator {
+	return &Aggregator{
+		topo:       topo,
+		ByDistrict: make(map[census.DistrictID]*DistrictCounts),
+		usersSeen:  make(map[popsim.UserID]bool),
+	}
+}
+
+// Consume ingests one event; it is an EmitFunc.
+func (a *Aggregator) Consume(e *Event) {
+	a.Total++
+	a.ByType[e.Type]++
+	if !e.OK {
+		a.Failures++
+	}
+	d := a.topo.Tower(e.Tower).District
+	dc := a.ByDistrict[d]
+	if dc == nil {
+		dc = &DistrictCounts{}
+		a.ByDistrict[d] = dc
+	}
+	dc.Total++
+	dc.ByType[e.Type]++
+	if !e.OK {
+		dc.Failures++
+	}
+	a.usersSeen[e.User] = true
+}
+
+// DistinctUsers returns how many distinct SIMs appeared in the feed.
+func (a *Aggregator) DistinctUsers() int { return len(a.usersSeen) }
+
+// FailureRate returns the overall event failure fraction.
+func (a *Aggregator) FailureRate() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Failures) / float64(a.Total)
+}
+
+// FilterReport reproduces the §2.3 population funnel: from all SIMs on
+// the network down to the native-smartphone analysis population (the
+// paper: ~22M native smartphone users retained, M2M and inbound roamers
+// dropped).
+type FilterReport struct {
+	TotalSIMs         int
+	Smartphones       int
+	M2MDropped        int
+	RoamersDropped    int
+	NonSmartDropped   int
+	NativeSmartphones int
+}
+
+// FilterPopulation applies the TAC-catalog and PLMN filters to the
+// population, as the paper does before any mobility analysis.
+func FilterPopulation(pop *popsim.Population, catalog *devices.Catalog) FilterReport {
+	var r FilterReport
+	for i := range pop.Users {
+		u := &pop.Users[i]
+		r.TotalSIMs++
+		isSmart := catalog.IsSmartphone(u.Device.TAC)
+		if isSmart {
+			r.Smartphones++
+		}
+		switch {
+		case u.Device.Class == devices.ClassM2M:
+			r.M2MDropped++
+		case !u.PLMN.IsNative():
+			r.RoamersDropped++
+		case !isSmart:
+			r.NonSmartDropped++
+		default:
+			r.NativeSmartphones++
+		}
+	}
+	return r
+}
+
+// RATShare accumulates connected time per RAT from traces, reproducing
+// the §2.4 observation that users spend ~75% of their time on 4G cells.
+type RATShare struct {
+	gen     *Generator
+	seconds [radio.NumRATs]float64
+}
+
+// NewRATShare builds the accumulator.
+func NewRATShare(gen *Generator) *RATShare { return &RATShare{gen: gen} }
+
+// ConsumeDay attributes each visit's dwell to a RAT using the same
+// camping model the event generator uses.
+func (r *RATShare) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrace) {
+	for i := range traces {
+		t := &traces[i]
+		u := r.gen.pop.User(t.User)
+		src := rngFor(r.gen.seed, uint64(t.User), uint64(day))
+		for _, v := range t.Visits {
+			tw := r.gen.topo.Tower(v.Tower)
+			rat := r.gen.ratFor(u, tw, src)
+			r.seconds[rat] += float64(v.Seconds)
+		}
+	}
+}
+
+// Shares returns the fraction of connected time per RAT.
+func (r *RATShare) Shares() [radio.NumRATs]float64 {
+	var total float64
+	for _, s := range r.seconds {
+		total += s
+	}
+	var out [radio.NumRATs]float64
+	if total == 0 {
+		return out
+	}
+	for i, s := range r.seconds {
+		out[i] = s / total
+	}
+	return out
+}

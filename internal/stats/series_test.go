@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := NewSeries("x", 5)
+	if s.Len() != 5 || s.Label != "x" {
+		t.Fatalf("NewSeries = %+v", s)
+	}
+	s.Values = []float64{3, 1, 4, 1, 5}
+	if got := s.At(2); got != 4 {
+		t.Errorf("At(2) = %v", got)
+	}
+	if got := s.At(-1); got != 0 {
+		t.Errorf("At(-1) = %v", got)
+	}
+	if got := s.At(99); got != 0 {
+		t.Errorf("At(99) = %v", got)
+	}
+	min, mi := s.Min()
+	if min != 1 || mi != 1 {
+		t.Errorf("Min = %v at %d", min, mi)
+	}
+	max, xi := s.Max()
+	if max != 5 || xi != 4 {
+		t.Errorf("Max = %v at %d", max, xi)
+	}
+	var empty Series
+	if _, i := empty.Min(); i != -1 {
+		t.Error("empty Min index should be -1")
+	}
+}
+
+func TestWeeklyMedians(t *testing.T) {
+	s := NewSeries("w", 14)
+	for i := range s.Values {
+		s.Values[i] = float64(i)
+	}
+	wm := s.WeeklyMedians()
+	if wm.Len() != 2 {
+		t.Fatalf("weeks = %d", wm.Len())
+	}
+	if wm.Values[0] != 3 || wm.Values[1] != 10 {
+		t.Errorf("weekly medians = %v", wm.Values)
+	}
+	// Ragged tail week.
+	s2 := Series{Label: "r", Values: []float64{1, 1, 1, 1, 1, 1, 1, 9, 11}}
+	wm2 := s2.WeeklyMedians()
+	if wm2.Len() != 2 || wm2.Values[1] != 10 {
+		t.Errorf("ragged weekly medians = %v", wm2.Values)
+	}
+}
+
+func TestWeeklyMeans(t *testing.T) {
+	s := Series{Label: "m", Values: []float64{1, 2, 3, 4, 5, 6, 7, 100}}
+	wm := s.WeeklyMeans()
+	if wm.Values[0] != 4 || wm.Values[1] != 100 {
+		t.Errorf("weekly means = %v", wm.Values)
+	}
+}
+
+func TestDeltaVsBaseline(t *testing.T) {
+	s := Series{Label: "d", Values: []float64{10, 10, 20, 5}}
+	d := s.DeltaVsBaseline(2, Mean)
+	want := []float64{0, 0, 100, -50}
+	for i := range want {
+		if math.Abs(d.Values[i]-want[i]) > 1e-9 {
+			t.Errorf("delta[%d] = %v, want %v", i, d.Values[i], want[i])
+		}
+	}
+	// Baseline window longer than the series degrades gracefully.
+	short := Series{Values: []float64{4, 8}}
+	d2 := short.DeltaVsBaseline(10, Mean)
+	if d2.Values[1] != 100.0/3*1 { // baseline = 6, 8 vs 6 = +33.3%
+		if math.Abs(d2.Values[1]-33.333333) > 1e-3 {
+			t.Errorf("short delta = %v", d2.Values)
+		}
+	}
+}
+
+func TestSmooth(t *testing.T) {
+	s := Series{Values: []float64{0, 0, 9, 0, 0}}
+	sm := s.Smooth(3)
+	if sm.Values[2] != 3 {
+		t.Errorf("smoothed centre = %v", sm.Values[2])
+	}
+	if sm.Values[0] != 0 {
+		t.Errorf("smoothed edge = %v", sm.Values[0])
+	}
+	// Window 1 (and even windows round up) keep length.
+	if got := s.Smooth(0); got.Len() != s.Len() {
+		t.Error("Smooth changed length")
+	}
+	if got := s.Smooth(2); got.Len() != s.Len() {
+		t.Error("even window Smooth changed length")
+	}
+}
+
+func TestBand(t *testing.T) {
+	samples := [][]float64{
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		{},
+		{5, 5, 5},
+	}
+	b := NewBand("b", samples)
+	if b.P50[0] != 5.5 {
+		t.Errorf("P50[0] = %v", b.P50[0])
+	}
+	if b.P10[0] >= b.P90[0] {
+		t.Error("band percentiles not ordered")
+	}
+	if b.P50[1] != 0 {
+		t.Error("empty sample point should stay zero")
+	}
+	if b.P10[2] != 5 || b.P90[2] != 5 {
+		t.Error("constant sample band wrong")
+	}
+	med := b.Median()
+	if med.Values[0] != 5.5 || med.Label != "b" {
+		t.Error("Median() track wrong")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var tb Table
+	tb.Title = "t"
+	tb.AddRow("b", []float64{1})
+	tb.AddRow("a", []float64{2})
+	if r, ok := tb.Row("a"); !ok || r.Values[0] != 2 {
+		t.Error("Row lookup failed")
+	}
+	if _, ok := tb.Row("zz"); ok {
+		t.Error("missing row should not be found")
+	}
+	tb.SortRows()
+	if tb.Rows[0].Label != "a" {
+		t.Error("SortRows did not sort")
+	}
+	if got := tb.MustRow("b"); got.Values[0] != 1 {
+		t.Error("MustRow wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRow should panic on missing row")
+		}
+	}()
+	tb.MustRow("nope")
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.N() != 0 {
+		t.Error("zero accumulator not neutral")
+	}
+	for _, x := range []float64{2, 4, 6} {
+		a.Add(x)
+	}
+	if a.N() != 3 || a.Sum() != 12 || a.Mean() != 4 {
+		t.Errorf("accumulator = n%d sum%v mean%v", a.N(), a.Sum(), a.Mean())
+	}
+	if a.Min() != 2 || a.Max() != 6 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	if math.Abs(a.Variance()-8.0/3) > 1e-9 {
+		t.Errorf("variance = %v", a.Variance())
+	}
+	var single Accumulator
+	single.Add(5)
+	if single.Variance() != 0 {
+		t.Error("single-observation variance should be 0")
+	}
+}

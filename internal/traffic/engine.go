@@ -1,0 +1,317 @@
+package traffic
+
+import (
+	"sort"
+
+	"repro/internal/census"
+	"repro/internal/mobsim"
+	"repro/internal/pandemic"
+	"repro/internal/popsim"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/timegrid"
+)
+
+// CellDay is the daily KPI record of one 4G cell: for every metric, the
+// median of its 24 hourly values, exactly the §2.4 reduction ("for all
+// the hourly metrics, we further aggregate them per day and extract the
+// (hourly) median value per cell").
+type CellDay struct {
+	Cell   radio.CellID
+	Values [NumMetrics]float64
+}
+
+// towerHour accumulates agent-level demand at one tower in one hour.
+type towerHour struct {
+	presSec   float64 // user-seconds attached
+	activeSec float64 // user-seconds with active DL transmission
+	dlMB      float64 // downlink data demand (QCI 2–8), agent units
+	ulMB      float64 // uplink data demand (QCI 2–8), agent units
+	voiceMin  float64 // voice minutes (QCI 1), agent units
+}
+
+// Engine converts day traces into per-cell daily KPI records.
+type Engine struct {
+	pop    *popsim.Population
+	topo   *radio.Topology
+	scen   *pandemic.Scenario
+	params Params
+	seed   uint64
+
+	subsPerAgent float64
+	// baselineBusyVoiceMin is the national busy-hour voice demand at
+	// baseline, in agent units; interconnect capacity is dimensioned
+	// against it.
+	baselineBusyVoiceMin float64
+	// towerRural marks towers serving Rural Residents districts, where
+	// fixed broadband is weaker and WiFi offload correspondingly so.
+	towerRural []bool
+
+	// scratch, reused across days: [tower][hour]
+	acc [][timegrid.HoursPerDay]towerHour
+}
+
+// NewEngine builds the KPI engine.
+func NewEngine(pop *popsim.Population, scen *pandemic.Scenario, params Params, seed uint64) *Engine {
+	e := &Engine{
+		pop:    pop,
+		topo:   pop.Topology(),
+		scen:   scen,
+		params: params,
+		seed:   rng.Hash64(seed ^ 0xE16E),
+	}
+	e.subsPerAgent = params.MarketShare / pop.Scale()
+	e.baselineBusyVoiceMin = float64(len(pop.Native())) * params.VoiceMinPerUserDay * peakVoiceHourShare()
+	e.acc = make([][timegrid.HoursPerDay]towerHour, len(e.topo.Towers))
+	model := pop.Model()
+	e.towerRural = make([]bool, len(e.topo.Towers))
+	for i := range e.topo.Towers {
+		d := model.District(e.topo.Towers[i].District)
+		e.towerRural[i] = d.Cluster == census.RuralResidents
+	}
+	return e
+}
+
+// Params returns the engine's model constants.
+func (e *Engine) Params() Params { return e.params }
+
+// InterconnectCapacity returns the interconnect voice capacity (agent
+// units, minutes per hour) in effect on the given simulated day.
+func (e *Engine) InterconnectCapacity(day timegrid.SimDay) float64 {
+	headroom := e.params.InterconnectHeadroom
+	if sd, ok := day.ToStudyDay(); ok && sd >= e.params.InterconnectUpgradeDay {
+		headroom = e.params.InterconnectHeadroomAfter
+	}
+	return e.baselineBusyVoiceMin * headroom
+}
+
+// CellHour is the raw hourly KPI record of one 4G cell, before the §2.4
+// daily-median reduction; DayHourly exposes it for analyses that need
+// sub-daily resolution. A zero DLThroughput marks an hour with no
+// active users (throughput undefined).
+type CellHour struct {
+	Cell   radio.CellID
+	Hour   int
+	Values [NumMetrics]float64
+}
+
+// Day runs the KPI model for one simulated day over the given traces and
+// returns one record per active 4G cell: for each metric the median of
+// its 24 hourly values. Deterministic in (engine construction, day,
+// traces).
+func (e *Engine) Day(day timegrid.SimDay, traces []mobsim.DayTrace) []CellDay {
+	out := make([]CellDay, 0, len(e.topo.Cells4G()))
+	var hv [NumMetrics][]float64
+	for m := range hv {
+		hv[m] = make([]float64, 0, timegrid.HoursPerDay)
+	}
+	var cur radio.CellID = -1
+	flush := func() {
+		if cur < 0 {
+			return
+		}
+		var cd CellDay
+		cd.Cell = cur
+		for m := 0; m < NumMetrics; m++ {
+			cd.Values[m] = medianOf(hv[m])
+		}
+		out = append(out, cd)
+	}
+	e.forEachCellHour(day, traces, func(ch *CellHour) {
+		if ch.Cell != cur {
+			flush()
+			cur = ch.Cell
+			for m := range hv {
+				hv[m] = hv[m][:0]
+			}
+		}
+		for m := 0; m < NumMetrics; m++ {
+			if m == int(DLThroughput) && ch.Values[m] == 0 {
+				continue // hour without active users: throughput undefined
+			}
+			hv[m] = append(hv[m], ch.Values[m])
+		}
+	})
+	flush()
+	return out
+}
+
+// DayHourly runs the KPI model at hourly resolution, emitting one record
+// per (active 4G cell, hour). Records of one cell arrive consecutively,
+// hours ascending.
+func (e *Engine) DayHourly(day timegrid.SimDay, traces []mobsim.DayTrace, emit func(*CellHour)) {
+	e.forEachCellHour(day, traces, emit)
+}
+
+// forEachCellHour is the engine core: demand accumulation, interconnect
+// congestion and the per-cell-hour KPI computation.
+func (e *Engine) forEachCellHour(day timegrid.SimDay, traces []mobsim.DayTrace, emit func(*CellHour)) {
+	p := &e.params
+	sd, inStudy := day.ToStudyDay()
+
+	dataF, homeF, voiceF, throttleF, activity := 1.0, 1.0, 1.0, 1.0, 1.0
+	if inStudy {
+		dataF = e.scen.DataFactor(sd)
+		homeF = e.scen.HomeCellularFactor(sd)
+		voiceF = e.scen.VoiceFactor(sd)
+		throttleF = e.scen.ThrottleFactor(sd)
+		activity = e.scen.Activity(sd)
+	}
+	// Conferencing boost on at-residence uplink grows with the activity
+	// deficit (people confined at home hold video calls), and total
+	// at-home appetite grows with confinement.
+	confBoost := 1 + (p.ConferencingULBoost-1)*(1-activity)
+	homeBoost := 1 + p.HomeDemandBoost*(1-activity)
+
+	// Reset scratch.
+	for i := range e.acc {
+		e.acc[i] = [timegrid.HoursPerDay]towerHour{}
+	}
+
+	base := rng.New(e.seed)
+	for i := range traces {
+		t := &traces[i]
+		usrc := base.Split2(uint64(t.User), uint64(day))
+		// Per-user-day appetite dispersion.
+		quirk := 0.70 + 0.60*usrc.Float64()
+		dlPerDay := p.DLPerUserDayMB * dataF * quirk
+		voicePerDay := p.VoiceMinPerUserDay * voiceF * (0.70 + 0.60*usrc.Float64())
+		urbanOffload := p.HomeCellularShare * homeF
+		// Rural homes have weaker fixed broadband: a higher cellular
+		// share at baseline and a damped pandemic offload shift. The
+		// rule keys on where the residence is, so relocated users take
+		// on their destination's offload behaviour.
+		ruralOffload := p.RuralHomeCellularShare * (1 - (1-homeF)*p.RuralOffloadDamping)
+
+		for _, v := range t.Visits {
+			secPerHour := float64(v.Seconds) / timegrid.BinHours
+			hourFrac := secPerHour / 3600
+			start, end := v.Bin.Hours()
+			// offEng drives "active user" engagement (no appetite boost:
+			// an offloaded user is attached but inactive on cellular);
+			// offDem additionally carries the confinement demand boost.
+			offEng, offDem := 1.0, 1.0
+			ulBoost := 1.0
+			if v.AtResidence {
+				if e.towerRural[v.Tower] {
+					offEng = ruralOffload
+					// Rural appetite growth is capped by coverage and
+					// plan limits; damp the confinement boost.
+					offDem = ruralOffload * (1 + (homeBoost-1)*0.3)
+				} else {
+					offEng = urbanOffload
+					offDem = urbanOffload * homeBoost
+				}
+				ulBoost = confBoost
+			}
+			th := &e.acc[v.Tower]
+			for h := start; h < end; h++ {
+				a := &th[h]
+				a.presSec += secPerHour
+				a.activeSec += secPerHour * engagement[h] * offEng
+				dl := dlPerDay * diurnalData[h] * hourFrac * offDem
+				a.dlMB += dl
+				a.ulMB += dl * p.ULRatio * ulBoost
+				a.voiceMin += voicePerDay * diurnalVoice[h] * hourFrac
+			}
+		}
+	}
+
+	// Interconnect congestion: national voice demand per hour versus the
+	// day's capacity.
+	var nationalVoice [timegrid.HoursPerDay]float64
+	for ti := range e.acc {
+		for h := 0; h < timegrid.HoursPerDay; h++ {
+			nationalVoice[h] += e.acc[ti][h].voiceMin
+		}
+	}
+	capacity := e.InterconnectCapacity(day)
+	var congestionLoss [timegrid.HoursPerDay]float64
+	for h := 0; h < timegrid.HoursPerDay; h++ {
+		util := nationalVoice[h] / capacity
+		if util > 1 {
+			extra := (util - 1) * p.CongestionLossPctPerUnit
+			if extra > p.CongestionLossCapPct {
+				extra = p.CongestionLossCapPct
+			}
+			congestionLoss[h] = extra
+		}
+	}
+
+	// Per-cell-hour KPI computation.
+	const baselineLoadNorm = 0.35
+	var ch CellHour
+
+	for ti := range e.topo.Towers {
+		tower := &e.topo.Towers[ti]
+		if !tower.ActiveOn(day) {
+			continue
+		}
+		cells := e.topo.Cells4GOfTower(tower.ID)
+		if len(cells) == 0 {
+			continue
+		}
+		// Per-cell-day load split weights: uneven sector loading.
+		weights := make([]float64, len(cells))
+		var wsum float64
+		for ci, cid := range cells {
+			w := 0.75 + 0.5*base.Split2(uint64(cid), uint64(day)).Float64()
+			weights[ci] = w
+			wsum += w
+		}
+
+		for ci, cid := range cells {
+			share := weights[ci] / wsum
+			csrc := base.Split2(uint64(cid)^0xCE11, uint64(day))
+			thrJitter := 0.92 + 0.16*csrc.Float64()
+
+			for h := 0; h < timegrid.HoursPerDay; h++ {
+				a := &e.acc[ti][h]
+				pres := a.presSec / 3600 * share * e.subsPerAgent
+				active := a.activeSec / 3600 * share * e.subsPerAgent
+				dl := a.dlMB * share * e.subsPerAgent
+				ul := a.ulMB * share * e.subsPerAgent
+				vmin := a.voiceMin * share * e.subsPerAgent
+				vMB := vmin * p.VoiceMBPerMin
+
+				load := p.LoadOverhead + (dl+ul+2*vMB)/p.CellCapacityMBPerHour
+				if load > 1 {
+					load = 1
+				}
+				loadNorm := load / baselineLoadNorm
+
+				ch.Cell = cid
+				ch.Hour = h
+				ch.Values[DLVolume] = dl + vMB
+				ch.Values[ULVolume] = ul + vMB
+				ch.Values[DLActiveUsers] = active
+				ch.Values[RadioLoad] = load
+				ch.Values[ConnectedUsers] = pres
+				ch.Values[VoiceVolume] = vMB
+				ch.Values[VoiceUsers] = vmin / 60
+				ch.Values[VoiceULLoss] = p.BaseULLossPct * (0.35 + 0.65*loadNorm)
+				ch.Values[VoiceDLLoss] = p.BaseDLLossPct*(0.35+0.65*loadNorm) + congestionLoss[h]
+				ch.Values[DLThroughput] = 0
+				if active > 0.01 {
+					ch.Values[DLThroughput] = p.BaseThroughputMbps * throttleF * thrJitter * (1 - p.CongestionK*load*load)
+				}
+				emit(&ch)
+			}
+		}
+	}
+}
+
+// medianOf returns the median of xs without retaining the input; it
+// sorts a scratch copy in place (xs is reused by the caller).
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

@@ -1,0 +1,122 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestErlangBKnownValues(t *testing.T) {
+	// Classic table values (offered load, channels, blocking).
+	cases := []struct {
+		a    float64
+		c    int
+		want float64
+	}{
+		{1, 1, 0.5},
+		{1, 2, 0.2},
+		{2, 2, 0.4},
+		{5, 10, 0.018},   // ≈ 1.84%
+		{10, 10, 0.215},  // ≈ 21.5%
+		{20, 30, 0.0085}, // ≈ 0.85%
+	}
+	for _, c := range cases {
+		got := ErlangB(c.a, c.c)
+		if math.Abs(got-c.want) > c.want*0.1+0.001 {
+			t.Errorf("ErlangB(%v, %d) = %v, want ≈%v", c.a, c.c, got, c.want)
+		}
+	}
+}
+
+func TestErlangBEdgeCases(t *testing.T) {
+	if got := ErlangB(5, 0); got != 1 {
+		t.Errorf("no channels should block everything: %v", got)
+	}
+	if got := ErlangB(0, 10); got != 0 {
+		t.Errorf("no load should never block: %v", got)
+	}
+	if got := ErlangB(-3, 10); got != 0 {
+		t.Errorf("negative load: %v", got)
+	}
+}
+
+func TestErlangBMonotonicity(t *testing.T) {
+	// More channels → less blocking; more load → more blocking.
+	for a := 1.0; a <= 50; a += 7 {
+		prev := 1.1
+		for c := 1; c <= 80; c += 5 {
+			b := ErlangB(a, c)
+			if b > prev {
+				t.Fatalf("blocking rose with channels at a=%v c=%d", a, c)
+			}
+			prev = b
+		}
+	}
+	for c := 5; c <= 50; c += 15 {
+		prev := -0.1
+		for a := 1.0; a <= 100; a += 9 {
+			b := ErlangB(a, c)
+			if b < prev {
+				t.Fatalf("blocking fell with load at a=%v c=%d", a, c)
+			}
+			prev = b
+		}
+	}
+}
+
+func TestErlangBBoundsProperty(t *testing.T) {
+	f := func(a float64, c uint8) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		a = math.Abs(a)
+		if a > 1e6 {
+			return true
+		}
+		b := ErlangB(a, int(c))
+		return b >= 0 && b <= 1 && !math.IsNaN(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErlangBChannels(t *testing.T) {
+	for _, a := range []float64{1, 5, 20, 100} {
+		c := ErlangBChannels(a, 0.01)
+		if got := ErlangB(a, c); got > 0.01 {
+			t.Errorf("a=%v: %d channels give blocking %v > 1%%", a, c, got)
+		}
+		if c > 1 {
+			if got := ErlangB(a, c-1); got <= 0.01 {
+				t.Errorf("a=%v: %d channels is not minimal", a, c)
+			}
+		}
+	}
+	if ErlangBChannels(0, 0.01) != 0 {
+		t.Error("zero load needs zero channels")
+	}
+	if ErlangBChannels(5, 0) == 0 {
+		t.Error("zero target should still dimension")
+	}
+}
+
+func TestEstimateVoiceBlockingHeadroom(t *testing.T) {
+	p := DefaultParams()
+	// A busy cell at the paper's surge: ~40 simultaneous voice users
+	// against a VoLTE capacity of thousands of concurrent calls — the
+	// radio side has huge headroom, which is why the paper's incident
+	// was on the interconnect instead.
+	est := EstimateVoiceBlocking(40, p)
+	if est.Channels < 500 {
+		t.Errorf("VoLTE channel estimate = %d, expected thousands", est.Channels)
+	}
+	if est.Blocking > 1e-6 {
+		t.Errorf("radio voice blocking = %v, expected negligible", est.Blocking)
+	}
+	// Sanity: absurd load does block.
+	worst := EstimateVoiceBlocking(float64(est.Channels)*2, p)
+	if worst.Blocking < 0.3 {
+		t.Errorf("2× overload blocking = %v", worst.Blocking)
+	}
+}

@@ -1,0 +1,80 @@
+// Package traffic implements the radio network performance substrate:
+// it converts per-user tower presence (from the mobility simulator) and
+// an application demand model into the hourly per-4G-cell KPIs the
+// paper's probes export (§2.4) — uplink/downlink data volume over QCI
+// 1–8, average active downlink users, radio load (TTI utilization),
+// average user downlink throughput, connected users, and the
+// conversational-voice KPIs over QCI 1: voice traffic volume, average
+// simultaneous voice users, and uplink/downlink packet loss error rates.
+//
+// It also models the inter-MNO voice interconnection infrastructure
+// whose capacity was exceeded by the March 2020 call surge (§4.2), and
+// the operations response that restored it.
+package traffic
+
+import "fmt"
+
+// Metric indexes one of the per-cell KPIs of §2.4.
+type Metric int
+
+// KPI metrics, in the order the figures present them.
+const (
+	DLVolume       Metric = iota // downlink data volume, MB per hour (QCI 1–8)
+	ULVolume                     // uplink data volume, MB per hour (QCI 1–8)
+	DLActiveUsers                // average users with active DL transmission
+	DLThroughput                 // average user DL throughput, Mbps
+	RadioLoad                    // TTI utilization, fraction of scheduler capacity
+	ConnectedUsers               // total attached users (active + idle)
+	VoiceVolume                  // conversational voice volume, MB per hour (QCI 1)
+	VoiceUsers                   // average simultaneous voice users
+	VoiceULLoss                  // voice uplink packet loss error rate, percent
+	VoiceDLLoss                  // voice downlink packet loss error rate, percent
+	NumMetrics     = int(VoiceDLLoss) + 1
+)
+
+// String implements fmt.Stringer with the paper's panel titles.
+func (m Metric) String() string {
+	switch m {
+	case DLVolume:
+		return "Downlink Data Volume"
+	case ULVolume:
+		return "Uplink Data Volume"
+	case DLActiveUsers:
+		return "Downlink Active Users"
+	case DLThroughput:
+		return "User Downlink Throughput"
+	case RadioLoad:
+		return "Cell Resource Utilization"
+	case ConnectedUsers:
+		return "Total Number of Users"
+	case VoiceVolume:
+		return "Voice Traffic Volume"
+	case VoiceUsers:
+		return "Simultaneous Voice Users"
+	case VoiceULLoss:
+		return "Uplink Packet Error Loss Rate"
+	case VoiceDLLoss:
+		return "Downlink Packet Error Loss Rate"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Metrics returns all KPI metrics in presentation order.
+func Metrics() []Metric {
+	out := make([]Metric, NumMetrics)
+	for i := range out {
+		out[i] = Metric(i)
+	}
+	return out
+}
+
+// DataMetrics returns the all-bearer panels of Fig. 8.
+func DataMetrics() []Metric {
+	return []Metric{DLVolume, ULVolume, DLActiveUsers, DLThroughput, RadioLoad, ConnectedUsers}
+}
+
+// VoiceMetrics returns the QCI-1 panels of Fig. 9.
+func VoiceMetrics() []Metric {
+	return []Metric{VoiceVolume, VoiceUsers, VoiceULLoss, VoiceDLLoss}
+}

@@ -1,0 +1,160 @@
+package traffic
+
+import "repro/internal/timegrid"
+
+// Params are the tunable constants of the demand and radio models. The
+// defaults are calibrated so that baseline (week 9) per-cell KPIs sit in
+// realistic operating ranges for a busy European LTE network and the
+// *relative* changes match the paper's shapes; absolute volumes are
+// synthetic by construction.
+type Params struct {
+	// MarketShare converts simulated residents into MNO subscribers
+	// (the studied operator holds >25% of the UK market, §2).
+	MarketShare float64
+
+	// DLPerUserDayMB is the baseline cellular downlink appetite of one
+	// subscriber per day, before WiFi offload at the residence.
+	DLPerUserDayMB float64
+	// ULRatio is the baseline uplink/downlink data volume ratio ("the
+	// downlink data volume is one order of magnitude larger", §4.1).
+	ULRatio float64
+	// ConferencingULBoost is the extra uplink demand factor applied to
+	// at-residence data during the lockdown phase (video calls and
+	// conferencing have symmetric profiles, §4.1).
+	ConferencingULBoost float64
+	// HomeDemandBoost scales the confinement-driven growth of total
+	// at-residence data appetite: the effective at-home demand is
+	// multiplied by 1 + HomeDemandBoost·(1 − activity). It is the
+	// mechanism behind residential districts (London N) keeping stable
+	// volumes with more active users while business districts empty
+	// (§5.1).
+	HomeDemandBoost float64
+
+	// HomeCellularShare is the baseline fraction of at-residence demand
+	// carried over cellular rather than home WiFi; the pandemic
+	// scenario's HomeCellularFactor scales it further down.
+	HomeCellularShare float64
+	// RuralHomeCellularShare replaces HomeCellularShare for residents of
+	// Rural Residents districts: fixed broadband is weaker there, so
+	// more home demand stays on cellular — the mechanism behind the
+	// paper's finding that rural downlink volume "remains largely
+	// stable" after lockdown (§4.4).
+	RuralHomeCellularShare float64
+	// RuralOffloadDamping attenuates the pandemic WiFi-offload shift in
+	// rural districts (1 = same shift as urban, 0 = no shift).
+	RuralOffloadDamping float64
+
+	// VoiceMinPerUserDay is the baseline conversational-voice usage of a
+	// subscriber, minutes per day.
+	VoiceMinPerUserDay float64
+	// VoiceMBPerMin converts voice minutes to bearer volume per
+	// direction (VoLTE AMR-WB plus RTP/IP overhead).
+	VoiceMBPerMin float64
+
+	// CellCapacityMBPerHour is the deliverable volume of one 4G cell at
+	// full scheduler load.
+	CellCapacityMBPerHour float64
+	// BaseThroughputMbps is the application-unconstrained per-user DL
+	// throughput of an uncongested cell.
+	BaseThroughputMbps float64
+	// CongestionK scales the quadratic congestion penalty on user
+	// throughput.
+	CongestionK float64
+	// LoadOverhead is the baseline TTI utilization floor from signalling
+	// and idle-mode overhead.
+	LoadOverhead float64
+
+	// BaseULLossPct / BaseDLLossPct are the voice packet loss error
+	// rates of an uncongested network, in percent.
+	BaseULLossPct float64
+	BaseDLLossPct float64
+
+	// Interconnect models the inter-MNO voice interconnection capacity:
+	// Headroom is the capacity as a multiple of the baseline busy-hour
+	// national voice demand; UpgradeDay is the study day the operations
+	// teams brought extra capacity online (§4.2: "the rapid response of
+	// the network operators ... quickly restored the DL error below the
+	// normal values"); HeadroomAfter applies from that day on.
+	InterconnectHeadroom      float64
+	InterconnectHeadroomAfter float64
+	InterconnectUpgradeDay    timegrid.StudyDay
+	// CongestionLossPctPerUnit converts interconnect over-utilization
+	// (util − 1) into additional DL packet loss, capped by
+	// CongestionLossCapPct.
+	CongestionLossPctPerUnit float64
+	CongestionLossCapPct     float64
+}
+
+// DefaultParams returns the calibrated model constants.
+func DefaultParams() Params {
+	return Params{
+		MarketShare: 0.25,
+
+		DLPerUserDayMB:      110,
+		ULRatio:             0.10,
+		ConferencingULBoost: 1.05,
+		HomeDemandBoost:     0.35,
+
+		HomeCellularShare:      0.52,
+		RuralHomeCellularShare: 0.80,
+		RuralOffloadDamping:    0.0,
+
+		VoiceMinPerUserDay: 9,
+		VoiceMBPerMin:      0.10,
+
+		CellCapacityMBPerHour: 46_000,
+		BaseThroughputMbps:    23,
+		CongestionK:           0.45,
+		LoadOverhead:          0.10,
+
+		BaseULLossPct: 0.80,
+		BaseDLLossPct: 0.50,
+
+		InterconnectHeadroom:      0.96,
+		InterconnectHeadroomAfter: 2.80,
+		InterconnectUpgradeDay:    26, // Sat 21 Mar 2020
+		CongestionLossPctPerUnit:  2.8,
+		CongestionLossCapPct:      1.0,
+	}
+}
+
+// diurnalData is the hourly share of daily data demand (sums to 1):
+// quiet nights, a morning ramp, sustained daytime use, and an evening
+// peak, as in operator traffic profiles.
+var diurnalData = [timegrid.HoursPerDay]float64{
+	0.010, 0.006, 0.004, 0.004, 0.005, 0.008, // 00–06
+	0.018, 0.032, 0.045, 0.052, 0.055, 0.058, // 06–12
+	0.060, 0.058, 0.056, 0.055, 0.058, 0.062, // 12–18
+	0.068, 0.075, 0.080, 0.072, 0.040, 0.019, // 18–24
+}
+
+// diurnalVoice is the hourly share of daily voice minutes: concentrated
+// in working hours and the early evening.
+var diurnalVoice = [timegrid.HoursPerDay]float64{
+	0.004, 0.002, 0.002, 0.002, 0.003, 0.006, // 00–06
+	0.020, 0.045, 0.065, 0.075, 0.078, 0.075, // 06–12
+	0.070, 0.066, 0.062, 0.060, 0.064, 0.070, // 12–18
+	0.075, 0.068, 0.048, 0.025, 0.010, 0.005, // 18–24
+}
+
+// engagement is the hourly probability that a present subscriber has
+// active downlink transmission in a given second, before offload
+// scaling; it tracks the data diurnal.
+var engagement = [timegrid.HoursPerDay]float64{
+	0.02, 0.01, 0.01, 0.01, 0.01, 0.02,
+	0.05, 0.09, 0.13, 0.15, 0.16, 0.17,
+	0.17, 0.17, 0.16, 0.16, 0.17, 0.18,
+	0.20, 0.22, 0.23, 0.21, 0.12, 0.05,
+}
+
+// peakVoiceHourShare returns the largest entry of diurnalVoice; the
+// interconnect capacity is dimensioned against it.
+func peakVoiceHourShare() float64 {
+	max := 0.0
+	for _, v := range diurnalVoice {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
