@@ -25,6 +25,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/signaling"
+	"repro/internal/stream"
 	"repro/internal/timegrid"
 	"repro/internal/traffic"
 )
@@ -393,6 +394,72 @@ func itoa(v int) string {
 		buf[i] = '-'
 	}
 	return string(buf[i:])
+}
+
+// --- streaming engine benchmarks ---------------------------------------------
+
+// BenchmarkRunStandardSerial is the serial end-to-end baseline the
+// streaming benchmarks compare against: the full two-pass pipeline at
+// the default 8k-user scale.
+func BenchmarkRunStandardSerial(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.RunStandard(cfg); r.KPI == nil {
+			b.Fatal("no KPI analyzer")
+		}
+	}
+}
+
+// benchmarkStream runs the sharded streaming pipeline end to end. The
+// results are bit-identical to RunStandard; what varies is wall clock.
+// Speedup over BenchmarkRunStandardSerial tracks the perf trajectory of
+// the engine across PRs (on multi-core hardware; a single-core runner
+// shows parity plus a small scheduling overhead).
+func benchmarkStream(b *testing.B, workers int) {
+	cfg := experiments.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.RunStreaming(cfg, workers); r.KPI == nil {
+			b.Fatal("no KPI analyzer")
+		}
+	}
+}
+
+func BenchmarkStreamWorkers1(b *testing.B) { benchmarkStream(b, 1) }
+func BenchmarkStreamWorkers4(b *testing.B) { benchmarkStream(b, 4) }
+func BenchmarkStreamWorkers8(b *testing.B) { benchmarkStream(b, 8) }
+
+// BenchmarkStreamSimSource isolates the parallel day-production stage
+// (simulation + KPI engine on per-worker clones, re-sequenced).
+func BenchmarkStreamSimSource(b *testing.B) {
+	r := benchResults(b)
+	d := r.Dataset
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := stream.NewSimSource(d.Sim, d.Engine,
+			timegrid.SimDay(timegrid.StudyDayOffset), timegrid.SimDay(timegrid.StudyDayOffset+7),
+			stream.Config{Workers: 4})
+		days := 0
+		for {
+			if _, err := src.Next(); err != nil {
+				break
+			}
+			days++
+		}
+		if days != 7 {
+			b.Fatalf("want 7 days, got %d", days)
+		}
+	}
+}
+
+// BenchmarkQSketch measures the streaming quantile sketch hot path.
+func BenchmarkQSketch(b *testing.B) {
+	q := stream.NewQSketch()
+	for i := 0; i < b.N; i++ {
+		q.Add(float64(i%10000) + 0.5)
+	}
+	if q.Median() <= 0 {
+		b.Fatal("bad median")
+	}
 }
 
 // --- extension and infrastructure benchmarks --------------------------------

@@ -7,9 +7,13 @@
 //	homes.csv            per-district inferred vs census population
 //	signaling_summary.csv per-day control-plane event counts by type
 //
+// With -raw it additionally persists the replayable feed directory that
+// cmd/mnostream consumes: traces.csv (full window), kpi.csv (full
+// window) and events.csv (one sample day).
+//
 // Usage:
 //
-//	mnosim -out ./data [-users N] [-seed S]
+//	mnosim -out ./data [-users N] [-seed S] [-raw]
 package main
 
 import (
@@ -81,26 +85,56 @@ func run(out string, users int, seed uint64, raw bool) error {
 	return nil
 }
 
-// writeRaw exports the raw per-visit trace feed for the full window and
-// one day of raw control-plane events, in the feeds package's formats,
-// so analyses can be replayed without re-simulating.
+// writeRaw exports the raw per-visit trace feed and the per-cell KPI
+// feed for the full window, plus one day of raw control-plane events, in
+// the feeds package's formats — the directory layout cmd/mnostream
+// replays (feeds.OpenDir), so analyses can be re-run without
+// re-simulating.
 func writeRaw(out string, r *experiments.Results) error {
-	tf, err := os.Create(filepath.Join(out, "traces.csv"))
+	meta := feeds.Meta{Users: r.Dataset.Config.TargetUsers, Seed: r.Dataset.Config.Seed}
+	if err := feeds.WriteMeta(out, meta); err != nil {
+		return err
+	}
+	tf, err := os.Create(filepath.Join(out, feeds.TraceFeedName))
 	if err != nil {
 		return err
 	}
 	defer tf.Close()
 	tw := feeds.NewTraceWriter(tf)
-	for day := timegrid.SimDay(0); day < timegrid.SimDays; day++ {
-		if err := tw.WriteDay(day, r.Dataset.Sim.Day(day)); err != nil {
+	var kw *feeds.KPIWriter
+	var kf *os.File
+	if r.Dataset.Engine != nil {
+		kf, err = os.Create(filepath.Join(out, feeds.KPIFeedName))
+		if err != nil {
 			return err
+		}
+		defer kf.Close()
+		kw = feeds.NewKPIWriter(kf)
+	}
+	for day := timegrid.SimDay(0); day < timegrid.SimDays; day++ {
+		traces := r.Dataset.Sim.Day(day)
+		if err := tw.WriteDay(day, traces); err != nil {
+			return err
+		}
+		if kw != nil {
+			if err := kw.WriteDay(day, r.Dataset.Engine.Day(day, traces)); err != nil {
+				return err
+			}
 		}
 	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	if kw != nil {
+		if err := kw.Flush(); err != nil {
+			return err
+		}
+	}
 
-	ef, err := os.Create(filepath.Join(out, "events_sample.csv"))
+	// One sample day of raw control-plane events (the full window would
+	// dwarf every other feed); cmd/mnostream attaches it to that day and
+	// streams the rest of the window without events.
+	ef, err := os.Create(filepath.Join(out, feeds.EventFeedName))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,162 @@
+// Command mnostream runs the sharded streaming analytics engine over the
+// MNO feeds and emits one rolling summary line per simulated day: active
+// users, national mobility averages (§2.3), sketch-estimated KPI medians
+// (§2.4) and control-plane totals (§2.2).
+//
+// Two input modes:
+//
+//	mnostream -feeds ./data [...]   replay a feed directory written by
+//	                                `mnosim -raw` (traces.csv required;
+//	                                kpi.csv / events.csv used if present).
+//	                                Pass the same -users/-seed the feeds
+//	                                were generated with: feeds carry tower
+//	                                and user IDs that are only meaningful
+//	                                relative to that synthetic stack.
+//	mnostream [...]                 run the simulator inline (KPI engine
+//	                                and control-plane generation included)
+//	                                and stream it straight into analytics.
+//
+// Engine sizing: -workers bounds the goroutines producing days and
+// running shard tasks, -shards the logical partitions. Summaries do not
+// depend on -workers, and the figure-grade pipeline behind
+// experiments.RunStreaming is bit-identical to the serial pipeline at
+// any of these settings.
+//
+// Usage:
+//
+//	mnostream [-feeds DIR] [-users N] [-seed S] [-workers W] [-shards K] [-days D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/feeds"
+	"repro/internal/mobsim"
+	"repro/internal/signaling"
+	"repro/internal/stream"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		feedDir = flag.String("feeds", "", "feed directory to replay (empty: run the simulator inline)")
+		users   = flag.Int("users", 8000, "synthetic native smartphone users (must match the feed's value in -feeds mode)")
+		seed    = flag.Uint64("seed", 42, "master random seed (must match the feed's value in -feeds mode)")
+		workers = flag.Int("workers", 0, "worker goroutines (0: GOMAXPROCS)")
+		shards  = flag.Int("shards", 0, "logical shards (0: default)")
+		days    = flag.Int("days", timegrid.SimDays, "days to stream in inline mode")
+		noSig   = flag.Bool("nosignaling", false, "skip control-plane generation in inline mode")
+	)
+	flag.Parse()
+
+	if err := run(*feedDir, *users, *seed, *workers, *shards, *days, !*noSig); err != nil {
+		fmt.Fprintln(os.Stderr, "mnostream:", err)
+		os.Exit(1)
+	}
+}
+
+func run(feedDir string, users int, seed uint64, workers, shards, days int, withSignaling bool) error {
+	scfg := stream.Config{Workers: workers, Shards: shards}.WithDefaults()
+
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = users
+	cfg.Seed = seed
+	if feedDir != "" {
+		cfg.SkipKPI = true // KPI records come from the feed, if at all
+	}
+	d := experiments.NewDataset(cfg)
+
+	eng := stream.NewEngine(scfg)
+	mob := stream.NewRollingMobility(d.Topology, cfg.TopN, scfg.Shards)
+	kpi := stream.NewKPIMedians(scfg.Shards)
+	eng.AddTraceSharder(mob)
+	eng.AddKPISharder(kpi)
+
+	gen := signaling.NewGenerator(d.Pop, cfg.Seed)
+	var sig *stream.Signaling
+	var src stream.Source
+	switch {
+	case feedDir != "":
+		if meta, ok, err := feeds.ReadMeta(feedDir); err != nil {
+			return err
+		} else if ok && (meta.Users != users || meta.Seed != seed) {
+			return fmt.Errorf("feed directory was generated with -users %d -seed %d (got -users %d -seed %d); IDs in the feeds are only meaningful relative to that stack",
+				meta.Users, meta.Seed, users, seed)
+		}
+		fs, err := feeds.OpenDir(feedDir)
+		if err != nil {
+			return err
+		}
+		defer fs.Close()
+		sig = stream.NewSignaling(gen, d.Topology, scfg.Shards, false)
+		eng.AddEventSharder(sig.Events())
+		src = stream.Prefetch(fs, scfg.Buffer)
+	default:
+		if withSignaling {
+			sig = stream.NewSignaling(gen, d.Topology, scfg.Shards, true)
+			eng.AddTraceSharder(sig)
+		}
+		limit := timegrid.SimDay(days)
+		if limit > timegrid.SimDays {
+			limit = timegrid.SimDays
+		}
+		src = stream.NewSimSource(d.Sim, d.Engine, 0, limit, scfg)
+	}
+
+	p := &printer{mob: mob, kpi: kpi, sig: sig, start: time.Now()}
+	eng.AddTraceConsumer(p)
+
+	fmt.Println("date        day users  entropy gyr_km  cells dl_med_mb conn_med  events   fail_pct")
+	if err := eng.Run(src); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "mnostream: %d days in %v (%d workers, %d shards)\n",
+		p.daysDone, time.Since(p.start).Round(time.Millisecond), scfg.Workers, scfg.Shards)
+	return nil
+}
+
+// printer is a serial merge-stage consumer that renders one summary line
+// per day after every sharded stage has merged.
+type printer struct {
+	mob      *stream.RollingMobility
+	kpi      *stream.KPIMedians
+	sig      *stream.Signaling
+	start    time.Time
+	daysDone int
+
+	prevEvents, prevFailures int64
+}
+
+// ConsumeDay implements stream.TraceConsumer; it runs after every
+// sharded stage of the day has merged.
+func (p *printer) ConsumeDay(day timegrid.SimDay, _ []mobsim.DayTrace) {
+	p.daysDone++
+	m := p.mob.Last()
+
+	cells, dlMed, connMed := 0, 0.0, 0.0
+	if k := p.kpi.Last(); k.Day == day {
+		cells = k.Cells
+		dlMed = k.Medians[traffic.DLVolume]
+		connMed = k.Medians[traffic.ConnectedUsers]
+	}
+
+	var dayEvents int64
+	failPct := 0.0
+	if p.sig != nil {
+		events, failures := p.sig.Totals()
+		dayEvents = events - p.prevEvents
+		if dayEvents > 0 {
+			failPct = float64(failures-p.prevFailures) / float64(dayEvents) * 100
+		}
+		p.prevEvents, p.prevFailures = events, failures
+	}
+
+	fmt.Printf("%s %3d %6d %7.3f %6.2f %6d %9.2f %8.3f %8d %8.3f\n",
+		timegrid.DateOfSimDay(day).Format("2006-01-02"), int(day), m.Users,
+		m.AvgEntropy, m.AvgGyration, cells, dlMed, connMed, dayEvents, failPct)
+}

@@ -14,12 +14,24 @@
 // Entry points:
 //
 //   - internal/experiments: one runner per paper figure (Fig2 … Fig12),
-//     with shape checks against the published results.
+//     with shape checks against the published results. RunStandard is
+//     the serial pipeline; RunStreaming is the same pipeline on the
+//     sharded streaming engine, bit-identical at any worker count.
+//   - internal/stream: the sharded, backpressured streaming analytics
+//     engine (worker-pool day production, hash-partitioned shard
+//     stages, deterministic merge) every scaling path builds on.
 //   - cmd/figures: regenerate all figures and print PASS/FAIL checks.
-//   - cmd/mnosim: export the synthetic datasets as CSV.
-//   - cmd/mobilityrpt: ad-hoc mobility reports.
+//   - cmd/mnosim: export the synthetic datasets as CSV (with -raw, the
+//     replayable trace/KPI/event feed directory).
+//   - cmd/mnostream: stream a feed directory — or the simulator inline —
+//     through the engine and emit rolling daily KPI/mobility summaries
+//     (-workers / -shards).
+//   - cmd/analyze, cmd/ablate, cmd/calibrate, cmd/mobilityrpt: ad-hoc
+//     analysis, ablation sweeps, calibration and mobility reports.
 //   - examples/: runnable walk-throughs of the public pipeline.
 //
 // The benchmarks in bench_test.go regenerate every table and figure (one
-// benchmark each) and include the ablations called out in DESIGN.md.
+// benchmark each), include the ablations called out in DESIGN.md, and
+// track the streaming engine's speedup over the serial pipeline
+// (BenchmarkStreamWorkers1/4/8 vs BenchmarkRunStandardSerial).
 package repro

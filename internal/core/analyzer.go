@@ -89,13 +89,39 @@ func (a *MobilityAnalyzer) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTr
 	topo := a.pop.Topology()
 	for i := range traces {
 		t := &traces[i]
-		m := ComputeDayMetrics(t, topo, a.topN)
-		u := a.pop.User(t.User)
-		a.national.add(sd, m)
-		a.byCounty[u.HomeCounty].add(sd, m)
-		a.byCluster[u.Cluster].add(sd, m)
+		a.addUser(sd, t.User, ComputeDayMetrics(t, topo, a.topN))
 	}
 }
+
+// ConsumeDayMetrics ingests one day of precomputed per-user metrics,
+// metrics[i] belonging to traces[i]. It performs exactly the additions
+// ConsumeDay would, in the same order, so a pipeline that computes the
+// metrics elsewhere (e.g. sharded across workers) and folds them here
+// produces bit-identical aggregates. Days outside the study window are
+// ignored.
+func (a *MobilityAnalyzer) ConsumeDayMetrics(day timegrid.SimDay, traces []mobsim.DayTrace, metrics []DayMetrics) {
+	sd, ok := day.ToStudyDay()
+	if !ok {
+		return
+	}
+	for i := range traces {
+		a.addUser(sd, traces[i].User, metrics[i])
+	}
+}
+
+// addUser folds one user-day of metrics into every aggregation level.
+func (a *MobilityAnalyzer) addUser(sd timegrid.StudyDay, id popsim.UserID, m DayMetrics) {
+	u := a.pop.User(id)
+	a.national.add(sd, m)
+	a.byCounty[u.HomeCounty].add(sd, m)
+	a.byCluster[u.Cluster].add(sd, m)
+}
+
+// TopN returns the analyzer's per-user tower filter.
+func (a *MobilityAnalyzer) TopN() int { return a.topN }
+
+// Population returns the population the analyzer aggregates over.
+func (a *MobilityAnalyzer) Population() *popsim.Population { return a.pop }
 
 // NationalSeries returns the nation-wide daily average of the metric per
 // user (the Fig. 3 series before the delta transformation).

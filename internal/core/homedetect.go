@@ -46,32 +46,42 @@ func (h *HomeDetector) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrace)
 		return
 	}
 	for i := range traces {
-		t := &traces[i]
-		// Night dwell per tower for this night.
-		var perTower map[radio.TowerID]float64
-		for _, v := range t.Visits {
-			if !h.isNight(v.Bin) {
-				continue
-			}
-			if perTower == nil {
-				perTower = make(map[radio.TowerID]float64, 2)
-			}
-			perTower[v.Tower] += float64(v.Seconds)
-		}
-		if perTower == nil {
+		h.ConsumeTrace(day, &traces[i])
+	}
+}
+
+// ConsumeTrace feeds a single user's trace for one night. All detector
+// state is per-user, so a pipeline that shards users across several
+// detectors and unions their Detect() results reproduces a single
+// detector exactly, as long as each user's nights arrive in day order.
+func (h *HomeDetector) ConsumeTrace(day timegrid.SimDay, t *mobsim.DayTrace) {
+	if !day.InFebruary() {
+		return
+	}
+	// Night dwell per tower for this night.
+	var perTower map[radio.TowerID]float64
+	for _, v := range t.Visits {
+		if !h.isNight(v.Bin) {
 			continue
 		}
-		us, ok := h.nightSeconds[t.User]
-		if !ok {
-			us = make(map[radio.TowerID]float64, 2)
-			h.nightSeconds[t.User] = us
-			h.nightCount[t.User] = make(map[radio.TowerID]int, 2)
+		if perTower == nil {
+			perTower = make(map[radio.TowerID]float64, 2)
 		}
-		uc := h.nightCount[t.User]
-		for tw, s := range perTower {
-			us[tw] += s
-			uc[tw]++
-		}
+		perTower[v.Tower] += float64(v.Seconds)
+	}
+	if perTower == nil {
+		return
+	}
+	us, ok := h.nightSeconds[t.User]
+	if !ok {
+		us = make(map[radio.TowerID]float64, 2)
+		h.nightSeconds[t.User] = us
+		h.nightCount[t.User] = make(map[radio.TowerID]int, 2)
+	}
+	uc := h.nightCount[t.User]
+	for tw, s := range perTower {
+		us[tw] += s
+		uc[tw]++
 	}
 }
 

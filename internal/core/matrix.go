@@ -61,29 +61,50 @@ func (m *MobilityMatrix) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrac
 	if !ok {
 		return
 	}
-	topo := m.pop.Topology()
 	for i := range traces {
-		t := &traces[i]
-		if !m.cohort[t.User] {
-			continue
+		if counties, ok := m.UserCounties(&traces[i]); ok {
+			m.ConsumeUserCounties(sd, counties)
 		}
-		samples := TopN(MergeVisits(t, topo), m.topN)
-		seen := make(map[census.CountyID]bool, 3)
-		for _, s := range samples {
-			seen[topo.Tower(s.Tower).County] = true
+	}
+}
+
+// UserCounties computes the distinct counties a user's top-N towers fall
+// in over one day, reporting whether the user belongs to the cohort.
+// This is the expensive per-user half of ConsumeDay, split out so a
+// sharded pipeline can run it in parallel and fold the results back in
+// with ConsumeUserCounties.
+func (m *MobilityMatrix) UserCounties(t *mobsim.DayTrace) ([]census.CountyID, bool) {
+	if !m.cohort[t.User] {
+		return nil, false
+	}
+	topo := m.pop.Topology()
+	samples := TopN(MergeVisits(t, topo), m.topN)
+	seen := make(map[census.CountyID]bool, 3)
+	for _, s := range samples {
+		seen[topo.Tower(s.Tower).County] = true
+	}
+	out := make([]census.CountyID, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	return out, true
+}
+
+// ConsumeUserCounties folds one cohort member's visited-county set for a
+// study day into the matrix. All updates are unit count increments, so
+// the result is independent of the order members are folded in.
+func (m *MobilityMatrix) ConsumeUserCounties(sd timegrid.StudyDay, counties []census.CountyID) {
+	home := false
+	for _, c := range counties {
+		m.presence[c][sd]++
+		if c == m.homeCounty {
+			home = true
 		}
-		home := false
-		for c := range seen {
-			m.presence[c][sd]++
-			if c == m.homeCounty {
-				home = true
-			}
-		}
-		if home {
-			m.atHome[sd]++
-		} else {
-			m.awayAll[sd]++
-		}
+	}
+	if home {
+		m.atHome[sd]++
+	} else {
+		m.awayAll[sd]++
 	}
 }
 

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/popsim"
+	"repro/internal/stream"
+	"repro/internal/timegrid"
+)
+
+// RunStreaming executes the canonical full pipeline — the same two
+// passes as RunStandard — on the sharded streaming engine: day
+// production (simulation and KPI generation) runs ahead on a worker
+// pool, the per-user analysis work is partitioned across shards, and
+// shard results are merged deterministically. The returned Results are
+// bit-identical to RunStandard at the same seed for every worker and
+// shard count, including workers == 1.
+func RunStreaming(cfg Config, workers int) *Results {
+	return RunStreamingConfig(cfg, stream.Config{Workers: workers})
+}
+
+// RunStreamingConfig is RunStreaming with full control over the engine
+// sizing (shard count, backpressure window).
+func RunStreamingConfig(cfg Config, scfg stream.Config) *Results {
+	scfg = scfg.WithDefaults()
+	d := NewDataset(cfg)
+	r := &Results{Dataset: d}
+
+	// Pass 1: February only, for home detection, sharded by user.
+	homes := stream.NewHomes(d.Topology, scfg.Shards)
+	eng := stream.NewEngine(scfg)
+	eng.AddTraceSharder(homes)
+	febSrc := stream.NewSimSource(d.Sim, nil, 0, timegrid.FebruaryDays, scfg)
+	_ = eng.Run(febSrc) // SimSource never errors
+	r.Homes = homes.Detect()
+
+	// Cohort: users whose detected home county is Inner London.
+	inner := d.Model.InnerLondon()
+	var cohort []popsim.UserID
+	for uid, h := range r.Homes {
+		if h.County == inner.ID {
+			cohort = append(cohort, uid)
+		}
+	}
+
+	r.Mobility = core.NewMobilityAnalyzer(d.Pop, cfg.TopN)
+	r.Matrix = core.NewMobilityMatrix(d.Pop, inner.ID, cohort, cfg.TopN)
+
+	// Pass 2: the study window, with sharded mobility/matrix stages and
+	// the exact KPI analyzer in the merge stage.
+	study := stream.NewEngine(scfg)
+	study.AddTraceSharder(stream.NewMobility(r.Mobility))
+	study.AddTraceSharder(stream.NewMatrix(r.Matrix))
+	kpiEngine := d.Engine
+	if kpiEngine != nil {
+		r.KPI = core.NewKPIAnalyzer(d.Topology)
+		study.AddKPIConsumer(r.KPI)
+	}
+	studySrc := stream.NewSimSource(d.Sim, kpiEngine, timegrid.SimDay(timegrid.StudyDayOffset), timegrid.SimDays, scfg)
+	_ = study.Run(studySrc)
+	return r
+}

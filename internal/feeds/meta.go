@@ -1,0 +1,75 @@
+package feeds
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// MetaFeedName is the provenance sidecar of a feed directory.
+const MetaFeedName = "feed_meta.csv"
+
+// Meta records the simulation stack a feed directory was generated
+// from. Feeds carry tower, cell and user IDs that are only meaningful
+// relative to that stack, so replay tools check this sidecar before
+// interpreting them.
+type Meta struct {
+	Users int
+	Seed  uint64
+}
+
+var metaHeader = []string{"users", "seed"}
+
+// WriteMeta persists the provenance sidecar into a feed directory.
+func WriteMeta(dir string, m Meta) error {
+	f, err := os.Create(filepath.Join(dir, MetaFeedName))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	rows := [][]string{metaHeader, {strconv.Itoa(m.Users), strconv.FormatUint(m.Seed, 10)}}
+	for _, rec := range rows {
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// ReadMeta loads the provenance sidecar; ok is false when the directory
+// has none (feeds written before the sidecar existed replay unchecked).
+func ReadMeta(dir string) (m Meta, ok bool, err error) {
+	f, err := os.Open(filepath.Join(dir, MetaFeedName))
+	if os.IsNotExist(err) {
+		return Meta{}, false, nil
+	}
+	if err != nil {
+		return Meta{}, false, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = len(metaHeader)
+	hdr, err := r.Read()
+	if err != nil {
+		return Meta{}, false, fmt.Errorf("feeds: reading meta header: %w", err)
+	}
+	if !equalRow(hdr, metaHeader) {
+		return Meta{}, false, ErrBadHeader
+	}
+	rec, err := r.Read()
+	if err != nil {
+		return Meta{}, false, fmt.Errorf("feeds: reading meta row: %w", err)
+	}
+	users, err1 := strconv.Atoi(rec[0])
+	seed, err2 := strconv.ParseUint(rec[1], 10, 64)
+	for _, err := range []error{err1, err2} {
+		if err != nil {
+			return Meta{}, false, fmt.Errorf("feeds: bad meta row %v: %w", rec, err)
+		}
+	}
+	return Meta{Users: users, Seed: seed}, true, nil
+}

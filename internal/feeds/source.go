@@ -1,0 +1,176 @@
+package feeds
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/signaling"
+	"repro/internal/stream"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// Feed file names inside a feed directory, as written by `mnosim -raw`.
+const (
+	TraceFeedName = "traces.csv"
+	KPIFeedName   = "kpi.csv"
+	EventFeedName = "events.csv"
+)
+
+// FeedSource replays persisted CSV feeds as day batches for the
+// streaming engine (stream.Source). The trace feed drives the day
+// cursor; per-cell KPI records and control-plane events for the same day
+// are attached when their feeds are present. All readers are streaming:
+// one day of records is held at a time.
+type FeedSource struct {
+	traces *TraceReader
+	kpi    *KPIReader
+	events *EventReader
+
+	pendingKPIDay timegrid.SimDay
+	pendingCells  []traffic.CellDay
+	kpiDone       bool
+
+	peekedEvent *signaling.Event
+	eventsDone  bool
+
+	closers []io.Closer
+}
+
+// NewFeedSource combines open readers into a source; kpi and events may
+// be nil.
+func NewFeedSource(traces *TraceReader, kpi *KPIReader, events *EventReader) *FeedSource {
+	return &FeedSource{traces: traces, kpi: kpi, events: events,
+		pendingKPIDay: -1, kpiDone: kpi == nil, eventsDone: events == nil}
+}
+
+// OpenDir opens a feed directory: traces.csv is required, kpi.csv and
+// events.csv are attached when present. Close the source when done.
+func OpenDir(dir string) (*FeedSource, error) {
+	tf, err := os.Open(filepath.Join(dir, TraceFeedName))
+	if err != nil {
+		return nil, fmt.Errorf("feeds: opening trace feed: %w", err)
+	}
+	tr, err := NewTraceReader(tf)
+	if err != nil {
+		tf.Close()
+		return nil, err
+	}
+	s := NewFeedSource(tr, nil, nil)
+	s.closers = append(s.closers, tf)
+
+	if kf, err := os.Open(filepath.Join(dir, KPIFeedName)); err == nil {
+		kr, err := NewKPIReader(kf)
+		if err != nil {
+			s.Close()
+			kf.Close()
+			return nil, err
+		}
+		s.kpi, s.kpiDone = kr, false
+		s.closers = append(s.closers, kf)
+	}
+	if ef, err := os.Open(filepath.Join(dir, EventFeedName)); err == nil {
+		er, err := NewEventReader(ef)
+		if err != nil {
+			s.Close()
+			ef.Close()
+			return nil, err
+		}
+		s.events, s.eventsDone = er, false
+		s.closers = append(s.closers, ef)
+	}
+	return s, nil
+}
+
+// Close releases the underlying files.
+func (s *FeedSource) Close() error {
+	var first error
+	for _, c := range s.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.closers = nil
+	return first
+}
+
+// Next returns the next day batch; io.EOF when the trace feed ends.
+func (s *FeedSource) Next() (stream.DayBatch, error) {
+	day, traces, err := s.traces.ReadDay()
+	if err != nil {
+		return stream.DayBatch{}, err // io.EOF passes through
+	}
+	b := stream.DayBatch{Day: day, Traces: traces}
+	if cells, err := s.kpiFor(day); err != nil {
+		return stream.DayBatch{}, err
+	} else {
+		b.Cells = cells
+	}
+	if events, err := s.eventsFor(day); err != nil {
+		return stream.DayBatch{}, err
+	} else {
+		b.Events = events
+	}
+	return b, nil
+}
+
+// kpiFor returns the KPI records of the given day, skipping feed days
+// that precede it (e.g. a trace feed opened mid-window).
+func (s *FeedSource) kpiFor(day timegrid.SimDay) ([]traffic.CellDay, error) {
+	for !s.kpiDone {
+		if s.pendingKPIDay < 0 {
+			d, cells, err := s.kpi.ReadDay()
+			if err == io.EOF {
+				s.kpiDone = true
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			s.pendingKPIDay, s.pendingCells = d, cells
+		}
+		switch {
+		case s.pendingKPIDay == day:
+			cells := s.pendingCells
+			s.pendingKPIDay, s.pendingCells = -1, nil
+			return cells, nil
+		case s.pendingKPIDay < day:
+			s.pendingKPIDay, s.pendingCells = -1, nil // stale feed day
+		default:
+			return nil, nil // feed is ahead; no records for this day
+		}
+	}
+	return nil, nil
+}
+
+// eventsFor returns the events of the given day, preserving feed order.
+func (s *FeedSource) eventsFor(day timegrid.SimDay) ([]signaling.Event, error) {
+	var out []signaling.Event
+	for !s.eventsDone {
+		ev := s.peekedEvent
+		s.peekedEvent = nil
+		if ev == nil {
+			e, err := s.events.Read()
+			if err == io.EOF {
+				s.eventsDone = true
+				break
+			}
+			if err != nil {
+				return out, err
+			}
+			ev = &e
+		}
+		switch {
+		case ev.Day == day:
+			out = append(out, *ev)
+		case ev.Day < day:
+			// stale feed day; drop
+		default:
+			s.peekedEvent = ev // belongs to a later day
+			return out, nil
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package feeds
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mobsim"
+	"repro/internal/popsim"
+	"repro/internal/radio"
+	"repro/internal/signaling"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// writeFeedDir persists a small three-day feed set: traces for days
+// 0–2, KPI records for days 1–2 (a feed opened mid-window), events for
+// day 1 only.
+func writeFeedDir(t *testing.T, dir string) {
+	t.Helper()
+	tf, err := os.Create(filepath.Join(dir, TraceFeedName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := NewTraceWriter(tf)
+	for day := timegrid.SimDay(0); day < 3; day++ {
+		traces := []mobsim.DayTrace{
+			{User: 1, Visits: []mobsim.Visit{{Tower: 2, Bin: 1, Seconds: 600, AtResidence: true}}},
+			{User: 7, Visits: []mobsim.Visit{{Tower: 3, Bin: 2, Seconds: 1200}}},
+		}
+		if err := tw.WriteDay(day, traces); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+
+	kf, err := os.Create(filepath.Join(dir, KPIFeedName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kw := NewKPIWriter(kf)
+	for day := timegrid.SimDay(1); day < 3; day++ {
+		cells := []traffic.CellDay{{Cell: radio.CellID(int(day) * 10)}}
+		if err := kw.WriteDay(day, cells); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := kw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	kf.Close()
+
+	ef, err := os.Create(filepath.Join(dir, EventFeedName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew := NewEventWriter(ef)
+	for i := 0; i < 4; i++ {
+		ew.Consume(&signaling.Event{Day: 1, SecOfDay: int32(i), User: popsim.UserID(i), Type: signaling.Attach, OK: true})
+	}
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ef.Close()
+}
+
+func TestFeedSourceAlignsDays(t *testing.T) {
+	dir := t.TempDir()
+	writeFeedDir(t, dir)
+	src, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	for day := timegrid.SimDay(0); day < 3; day++ {
+		b, err := src.Next()
+		if err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		if b.Day != day {
+			t.Fatalf("want day %d, got %d", day, b.Day)
+		}
+		if len(b.Traces) != 2 || b.Traces[0].User != 1 || b.Traces[1].User != 7 {
+			t.Fatalf("day %d: bad traces %+v", day, b.Traces)
+		}
+		switch day {
+		case 0:
+			if b.Cells != nil {
+				t.Fatalf("day 0: unexpected cells")
+			}
+			if len(b.Events) != 0 {
+				t.Fatalf("day 0: unexpected events")
+			}
+		case 1:
+			if len(b.Cells) != 1 || b.Cells[0].Cell != 10 {
+				t.Fatalf("day 1: bad cells %+v", b.Cells)
+			}
+			if len(b.Events) != 4 {
+				t.Fatalf("day 1: want 4 events, got %d", len(b.Events))
+			}
+		case 2:
+			if len(b.Cells) != 1 || b.Cells[0].Cell != 20 {
+				t.Fatalf("day 2: bad cells %+v", b.Cells)
+			}
+			if len(b.Events) != 0 {
+				t.Fatalf("day 2: unexpected events")
+			}
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestFeedSourceTracesOnly(t *testing.T) {
+	dir := t.TempDir()
+	writeFeedDir(t, dir)
+	// Remove the optional feeds: the source must still stream traces.
+	os.Remove(filepath.Join(dir, KPIFeedName))
+	os.Remove(filepath.Join(dir, EventFeedName))
+	src, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	days := 0
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Cells != nil || b.Events != nil {
+			t.Fatalf("unexpected optional feeds: %+v", b)
+		}
+		days++
+	}
+	if days != 3 {
+		t.Fatalf("want 3 days, got %d", days)
+	}
+}
+
+func TestOpenDirMissingTraces(t *testing.T) {
+	if _, err := OpenDir(t.TempDir()); err == nil {
+		t.Fatal("want error for missing trace feed")
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := ReadMeta(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	want := Meta{Users: 8000, Seed: 42}
+	if err := WriteMeta(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadMeta(dir)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("meta: got %+v, want %+v", got, want)
+	}
+}

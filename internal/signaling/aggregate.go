@@ -60,6 +60,33 @@ func (a *Aggregator) Consume(e *Event) {
 	a.usersSeen[e.User] = true
 }
 
+// Merge folds another aggregator's tallies into a. Every aggregate is an
+// integer count or a distinct-user set, so merging is exact: partitioning
+// an event stream across shard-local aggregators and merging them — in
+// any order — reproduces a single aggregator over the whole stream.
+func (a *Aggregator) Merge(o *Aggregator) {
+	a.Total += o.Total
+	a.Failures += o.Failures
+	for t := range o.ByType {
+		a.ByType[t] += o.ByType[t]
+	}
+	for d, oc := range o.ByDistrict {
+		dc := a.ByDistrict[d]
+		if dc == nil {
+			dc = &DistrictCounts{}
+			a.ByDistrict[d] = dc
+		}
+		dc.Total += oc.Total
+		dc.Failures += oc.Failures
+		for t := range oc.ByType {
+			dc.ByType[t] += oc.ByType[t]
+		}
+	}
+	for u := range o.usersSeen {
+		a.usersSeen[u] = true
+	}
+}
+
 // DistinctUsers returns how many distinct SIMs appeared in the feed.
 func (a *Aggregator) DistinctUsers() int { return len(a.usersSeen) }
 

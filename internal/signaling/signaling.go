@@ -104,6 +104,9 @@ func NewGenerator(pop *popsim.Population, seed uint64) *Generator {
 	return &Generator{pop: pop, topo: pop.Topology(), seed: rng.Hash64(seed ^ 0x516)}
 }
 
+// Population returns the population the generator draws from.
+func (g *Generator) Population() *popsim.Population { return g.pop }
+
 // ratFor picks the serving RAT for an event: devices camp on 4G for
 // ~75% of their time (§2.4), falling back to 3G/2G where available or
 // when the device lacks LTE support.

@@ -1,0 +1,256 @@
+package stream
+
+import (
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/mobsim"
+	"repro/internal/rng"
+	"repro/internal/signaling"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// DefaultShards is the logical partition count used when Config.Shards
+// is unset. Outputs are shard-count invariant for every consumer in this
+// package; a fixed default merely keeps profiles comparable across runs.
+const DefaultShards = 8
+
+// Config sizes the engine.
+type Config struct {
+	// Workers bounds the goroutines of each pipeline stage: a source
+	// built from this config uses up to Workers producers, and the
+	// engine up to Workers shard tasks, so a full pipeline peaks at
+	// about twice this many runnable goroutines. <= 0 means GOMAXPROCS.
+	Workers int
+	// Shards is the number of logical partitions. <= 0 means
+	// DefaultShards.
+	Shards int
+	// Buffer is the number of extra day batches a source may compute
+	// ahead of consumption (backpressure window). <= 0 means 2.
+	Buffer int
+}
+
+// WithDefaults returns the config with unset fields resolved.
+func (c Config) WithDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 2
+	}
+	return c
+}
+
+// TraceSharder consumes day traces partitioned by user. For every day
+// the engine calls BeginDay once, then ShardDay concurrently (one call
+// per shard, with disjoint index sets into the day's trace slice, always
+// in input order within a shard), then EndDay once after every shard
+// call returned. Shard s always receives the same users, so per-shard
+// state evolves identically regardless of worker count.
+type TraceSharder interface {
+	BeginDay(day timegrid.SimDay, traces []mobsim.DayTrace)
+	ShardDay(shard int, day timegrid.SimDay, traces []mobsim.DayTrace, idx []int)
+	EndDay(day timegrid.SimDay)
+}
+
+// KPISharder is the TraceSharder counterpart for per-cell KPI records,
+// partitioned by cell ID.
+type KPISharder interface {
+	BeginDay(day timegrid.SimDay, cells []traffic.CellDay)
+	ShardDay(shard int, day timegrid.SimDay, cells []traffic.CellDay, idx []int)
+	EndDay(day timegrid.SimDay)
+}
+
+// EventSharder is the TraceSharder counterpart for control-plane events,
+// partitioned by user ID.
+type EventSharder interface {
+	BeginDay(day timegrid.SimDay, events []signaling.Event)
+	ShardDay(shard int, day timegrid.SimDay, events []signaling.Event, idx []int)
+	EndDay(day timegrid.SimDay)
+}
+
+// TraceConsumer is a serial per-day trace consumer (the shape of
+// experiments.DayConsumer); it runs in the merge stage, in day order.
+type TraceConsumer interface {
+	ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrace)
+}
+
+// KPIConsumer is a serial per-day KPI consumer (the shape of
+// experiments.KPIConsumer); it runs in the merge stage, in day order.
+type KPIConsumer interface {
+	ConsumeDay(day timegrid.SimDay, cells []traffic.CellDay)
+}
+
+// Engine drives sources through sharded and serial consumers.
+type Engine struct {
+	cfg Config
+
+	traceSharders []TraceSharder
+	kpiSharders   []KPISharder
+	eventSharders []EventSharder
+	traceSerial   []TraceConsumer
+	kpiSerial     []KPIConsumer
+
+	// per-day partition scratch, reused across days.
+	traceIdx [][]int
+	cellIdx  [][]int
+	eventIdx [][]int
+
+	sem chan struct{}
+}
+
+// NewEngine builds an engine; consumers are attached with the Add
+// methods before Run.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.WithDefaults()
+	e := &Engine{cfg: cfg, sem: make(chan struct{}, cfg.Workers)}
+	e.traceIdx = makeParts(cfg.Shards)
+	e.cellIdx = makeParts(cfg.Shards)
+	e.eventIdx = makeParts(cfg.Shards)
+	return e
+}
+
+func makeParts(n int) [][]int {
+	p := make([][]int, n)
+	for i := range p {
+		p[i] = make([]int, 0, 64)
+	}
+	return p
+}
+
+// Config returns the engine's resolved configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// AddTraceSharder attaches a sharded trace consumer.
+func (e *Engine) AddTraceSharder(s TraceSharder) { e.traceSharders = append(e.traceSharders, s) }
+
+// AddKPISharder attaches a sharded KPI consumer.
+func (e *Engine) AddKPISharder(s KPISharder) { e.kpiSharders = append(e.kpiSharders, s) }
+
+// AddEventSharder attaches a sharded event consumer.
+func (e *Engine) AddEventSharder(s EventSharder) { e.eventSharders = append(e.eventSharders, s) }
+
+// AddTraceConsumer attaches a serial merge-stage trace consumer.
+func (e *Engine) AddTraceConsumer(c TraceConsumer) { e.traceSerial = append(e.traceSerial, c) }
+
+// AddKPIConsumer attaches a serial merge-stage KPI consumer.
+func (e *Engine) AddKPIConsumer(c KPIConsumer) { e.kpiSerial = append(e.kpiSerial, c) }
+
+// ShardOfUser returns the shard a user's records land on under s shards.
+// The hash is a stable bit mixer, so the partition depends only on the
+// user ID and shard count — never on run order or worker count.
+func ShardOfUser(u uint64, s int) int { return int(rng.Hash64(u) % uint64(s)) }
+
+// ShardOfCell returns the shard a cell's records land on under s shards.
+func ShardOfCell(c uint64, s int) int { return int(rng.Hash64(c^0xCE11CE11) % uint64(s)) }
+
+// Run pulls day batches from the source until io.EOF, fanning each day
+// out across the shard workers and merging before the next day starts.
+func (e *Engine) Run(src Source) error {
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		e.runDay(&b)
+	}
+}
+
+// runDay processes one day batch: partition, parallel shard stage,
+// serial merge stage.
+func (e *Engine) runDay(b *DayBatch) {
+	s := e.cfg.Shards
+	partition(e.traceIdx, len(b.Traces), func(i int) int {
+		return ShardOfUser(uint64(b.Traces[i].User), s)
+	})
+	partition(e.cellIdx, len(b.Cells), func(i int) int {
+		return ShardOfCell(uint64(b.Cells[i].Cell), s)
+	})
+	partition(e.eventIdx, len(b.Events), func(i int) int {
+		return ShardOfUser(uint64(b.Events[i].User), s)
+	})
+
+	for _, sh := range e.traceSharders {
+		sh.BeginDay(b.Day, b.Traces)
+	}
+	for _, sh := range e.kpiSharders {
+		sh.BeginDay(b.Day, b.Cells)
+	}
+	for _, sh := range e.eventSharders {
+		sh.BeginDay(b.Day, b.Events)
+	}
+
+	var wg sync.WaitGroup
+	run := func(task func()) {
+		wg.Add(1)
+		e.sem <- struct{}{}
+		go func() {
+			defer func() { <-e.sem; wg.Done() }()
+			task()
+		}()
+	}
+	for _, sh := range e.traceSharders {
+		for i := 0; i < s; i++ {
+			if len(e.traceIdx[i]) > 0 {
+				sh, i := sh, i
+				run(func() { sh.ShardDay(i, b.Day, b.Traces, e.traceIdx[i]) })
+			}
+		}
+	}
+	for _, sh := range e.kpiSharders {
+		for i := 0; i < s; i++ {
+			if len(e.cellIdx[i]) > 0 {
+				sh, i := sh, i
+				run(func() { sh.ShardDay(i, b.Day, b.Cells, e.cellIdx[i]) })
+			}
+		}
+	}
+	for _, sh := range e.eventSharders {
+		for i := 0; i < s; i++ {
+			if len(e.eventIdx[i]) > 0 {
+				sh, i := sh, i
+				run(func() { sh.ShardDay(i, b.Day, b.Events, e.eventIdx[i]) })
+			}
+		}
+	}
+	wg.Wait()
+
+	// Merge stage: strictly serial, fixed order.
+	for _, sh := range e.traceSharders {
+		sh.EndDay(b.Day)
+	}
+	for _, sh := range e.kpiSharders {
+		sh.EndDay(b.Day)
+	}
+	for _, sh := range e.eventSharders {
+		sh.EndDay(b.Day)
+	}
+	for _, c := range e.traceSerial {
+		c.ConsumeDay(b.Day, b.Traces)
+	}
+	if b.Cells != nil {
+		for _, c := range e.kpiSerial {
+			c.ConsumeDay(b.Day, b.Cells)
+		}
+	}
+}
+
+// partition fills parts with the indices 0..n-1 grouped by shardOf,
+// preserving input order within each shard.
+func partition(parts [][]int, n int, shardOf func(int) int) {
+	for i := range parts {
+		parts[i] = parts[i][:0]
+	}
+	for i := 0; i < n; i++ {
+		s := shardOf(i)
+		parts[s] = append(parts[s], i)
+	}
+}

@@ -1,0 +1,202 @@
+package stream
+
+import (
+	"io"
+	"sync/atomic"
+
+	"repro/internal/mobsim"
+	"repro/internal/signaling"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// DayBatch is one simulated day of feed records. Cells and Events are
+// nil when the source does not carry that feed.
+type DayBatch struct {
+	Day    timegrid.SimDay
+	Traces []mobsim.DayTrace
+	Cells  []traffic.CellDay
+	Events []signaling.Event
+}
+
+// Source delivers day batches in ascending day order; Next returns
+// io.EOF when the stream is exhausted.
+type Source interface {
+	Next() (DayBatch, error)
+}
+
+// SimSource produces day batches from the live simulator. Day
+// generation — mobsim.Simulator.Day plus, when a traffic engine is
+// attached, traffic.Engine.Day on a per-worker clone — is the dominant
+// cost of the whole pipeline and is embarrassingly parallel across days,
+// so the source computes days ahead on a worker pool and re-sequences
+// them: Next always returns days in order.
+//
+// Backpressure: at most workers+buffer days are claimed but not yet
+// returned by Next, so memory stays bounded no matter how far the
+// consumer falls behind.
+type SimSource struct {
+	out  chan DayBatch
+	done chan struct{}
+}
+
+// NewSimSource streams days [first, limit). A nil engine skips KPI
+// generation (mobility-only runs). cfg sizes the worker pool and the
+// backpressure window.
+func NewSimSource(sim *mobsim.Simulator, eng *traffic.Engine, first, limit timegrid.SimDay, cfg Config) *SimSource {
+	cfg = cfg.WithDefaults()
+	s := &SimSource{
+		out:  make(chan DayBatch),
+		done: make(chan struct{}),
+	}
+	go s.run(sim, eng, first, limit, cfg)
+	return s
+}
+
+// Next returns the next day batch, in day order.
+func (s *SimSource) Next() (DayBatch, error) {
+	b, ok := <-s.out
+	if !ok {
+		return DayBatch{}, io.EOF
+	}
+	return b, nil
+}
+
+// Stop abandons the stream early and releases the producer goroutines.
+// Call it at most once; Next must not be called after Stop.
+func (s *SimSource) Stop() { close(s.done) }
+
+func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit timegrid.SimDay, cfg Config) {
+	defer close(s.out)
+	if first >= limit {
+		return
+	}
+	total := int(limit - first)
+	window := cfg.Workers + cfg.Buffer
+
+	// sem bounds the days in flight; a token is taken before a day is
+	// claimed and released when the sequencer hands the day out. Days
+	// are claimed in ascending order, so the lowest unemitted day is
+	// always already being computed — the window cannot deadlock.
+	sem := make(chan struct{}, window)
+	results := make(chan DayBatch)
+	var next int64 = int64(first)
+
+	for w := 0; w < cfg.Workers; w++ {
+		worker := eng
+		if eng != nil && w > 0 {
+			worker = eng.Clone()
+		}
+		go func(eng *traffic.Engine) {
+			for {
+				select {
+				case sem <- struct{}{}:
+				case <-s.done:
+					return
+				}
+				day := timegrid.SimDay(atomic.AddInt64(&next, 1) - 1)
+				if day >= limit {
+					<-sem
+					return
+				}
+				b := DayBatch{Day: day, Traces: sim.Day(day)}
+				if eng != nil {
+					b.Cells = eng.Day(day, b.Traces)
+				}
+				select {
+				case results <- b:
+				case <-s.done:
+					return
+				}
+			}
+		}(worker)
+	}
+
+	// Sequencer: emit in day order.
+	pending := make(map[timegrid.SimDay]DayBatch, window)
+	emit := first
+	for received := 0; received < total; {
+		var b DayBatch
+		select {
+		case b = <-results:
+		case <-s.done:
+			return
+		}
+		received++
+		pending[b.Day] = b
+		for {
+			nb, ok := pending[emit]
+			if !ok {
+				break
+			}
+			delete(pending, emit)
+			select {
+			case s.out <- nb:
+			case <-s.done:
+				return
+			}
+			<-sem
+			emit++
+		}
+	}
+}
+
+// Prefetch wraps a source with a decode-ahead goroutine: up to n day
+// batches are produced before the consumer asks for them, so e.g. CSV
+// feed decoding overlaps with analytics. The bounded channel is the
+// backpressure: a slow consumer stalls the producer after n batches.
+func Prefetch(src Source, n int) Source {
+	if n < 1 {
+		n = 1
+	}
+	p := &prefetchSource{ch: make(chan DayBatch, n), errc: make(chan error, 1)}
+	go func() {
+		defer close(p.ch)
+		for {
+			b, err := src.Next()
+			if err != nil {
+				p.errc <- err
+				return
+			}
+			p.ch <- b
+		}
+	}()
+	return p
+}
+
+type prefetchSource struct {
+	ch   chan DayBatch
+	errc chan error
+	err  error
+}
+
+func (p *prefetchSource) Next() (DayBatch, error) {
+	b, ok := <-p.ch
+	if !ok {
+		if p.err == nil {
+			p.err = <-p.errc
+		}
+		return DayBatch{}, p.err
+	}
+	return b, nil
+}
+
+// sliceSource replays pre-built batches; used by tests and by feed
+// adapters that already hold a window in memory.
+type sliceSource struct {
+	batches []DayBatch
+	i       int
+}
+
+// NewSliceSource returns a Source over in-memory batches, in the order
+// given.
+func NewSliceSource(batches []DayBatch) Source { return &sliceSource{batches: batches} }
+
+func (s *sliceSource) Next() (DayBatch, error) {
+	if s.i >= len(s.batches) {
+		return DayBatch{}, io.EOF
+	}
+	b := s.batches[s.i]
+	s.i++
+	return b, nil
+}

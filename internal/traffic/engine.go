@@ -75,6 +75,17 @@ func NewEngine(pop *popsim.Population, scen *pandemic.Scenario, params Params, s
 // Params returns the engine's model constants.
 func (e *Engine) Params() Params { return e.params }
 
+// Clone returns an engine with the same model parameters and seed but an
+// independent scratch area. Day is deterministic in (construction, day,
+// traces) and never mutates anything but the scratch, so clones produce
+// bit-identical records to the original and may run concurrently, one
+// per worker.
+func (e *Engine) Clone() *Engine {
+	c := *e
+	c.acc = make([][timegrid.HoursPerDay]towerHour, len(e.acc))
+	return &c
+}
+
 // InterconnectCapacity returns the interconnect voice capacity (agent
 // units, minutes per hour) in effect on the given simulated day.
 func (e *Engine) InterconnectCapacity(day timegrid.SimDay) float64 {
