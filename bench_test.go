@@ -321,27 +321,85 @@ func BenchmarkAblationDailyAggregate(b *testing.B) {
 
 func BenchmarkSimulateDay(b *testing.B) {
 	r := benchResults(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Dataset.Sim.Day(timegrid.SimDay(timegrid.StudyDayOffset + i%timegrid.StudyDays))
 	}
 }
 
+// BenchmarkSimDayInto is BenchmarkSimulateDay on the arena path: one
+// warm DayBuffer reused across iterations. allocs/op should read 0.
+func BenchmarkSimDayInto(b *testing.B) {
+	r := benchResults(b)
+	buf := mobsim.NewDayBuffer()
+	r.Dataset.Sim.DayInto(buf, timegrid.SimDay(timegrid.StudyDayOffset))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Dataset.Sim.DayInto(buf, timegrid.SimDay(timegrid.StudyDayOffset+i%timegrid.StudyDays))
+	}
+}
+
 func BenchmarkEngineDay(b *testing.B) {
 	r := benchResults(b)
 	day := timegrid.SimDay(timegrid.StudyDayOffset + 30)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Dataset.Engine.Day(day, benchDay)
 	}
 }
 
+// BenchmarkEngineDayAppend is BenchmarkEngineDay with a reused
+// destination, the steady-state shape of every pipeline. allocs/op
+// should read 0.
+func BenchmarkEngineDayAppend(b *testing.B) {
+	r := benchResults(b)
+	day := timegrid.SimDay(timegrid.StudyDayOffset + 30)
+	var cells []traffic.CellDay
+	cells = r.Dataset.Engine.DayAppend(cells, day, benchDay)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells = r.Dataset.Engine.DayAppend(cells[:0], day, benchDay)
+	}
+}
+
 func BenchmarkDayMetrics(b *testing.B) {
 	r := benchResults(b)
 	topo := r.Dataset.Topology
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.ComputeDayMetrics(&benchDay[i%len(benchDay)], topo, core.DefaultTopN)
+	}
+}
+
+// BenchmarkDayMetricsMerger is BenchmarkDayMetrics through a reused
+// VisitMerger, the steady-state shape of every analyzer. allocs/op
+// should read 0.
+func BenchmarkDayMetricsMerger(b *testing.B) {
+	r := benchResults(b)
+	topo := r.Dataset.Topology
+	var mg core.VisitMerger
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mg.DayMetrics(&benchDay[i%len(benchDay)], topo, core.DefaultTopN)
+	}
+}
+
+// BenchmarkMergeVisits isolates the visit dedupe+sort inside the §2.3
+// pipeline, on the reusable merger.
+func BenchmarkMergeVisits(b *testing.B) {
+	r := benchResults(b)
+	topo := r.Dataset.Topology
+	var mg core.VisitMerger
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mg.Merge(&benchDay[i%len(benchDay)], topo)
 	}
 }
 
@@ -403,6 +461,7 @@ func itoa(v int) string {
 // the default 8k-user scale.
 func BenchmarkRunStandardSerial(b *testing.B) {
 	cfg := experiments.DefaultConfig()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.RunStandard(cfg); r.KPI == nil {
 			b.Fatal("no KPI analyzer")
@@ -417,6 +476,7 @@ func BenchmarkRunStandardSerial(b *testing.B) {
 // shows parity plus a small scheduling overhead).
 func benchmarkStream(b *testing.B, workers int) {
 	cfg := experiments.DefaultConfig()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if r := experiments.RunStreaming(cfg, workers); r.KPI == nil {
 			b.Fatal("no KPI analyzer")
@@ -433,6 +493,7 @@ func BenchmarkStreamWorkers8(b *testing.B) { benchmarkStream(b, 8) }
 func BenchmarkStreamSimSource(b *testing.B) {
 	r := benchResults(b)
 	d := r.Dataset
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := stream.NewSimSource(d.Sim, d.Engine,
@@ -440,9 +501,11 @@ func BenchmarkStreamSimSource(b *testing.B) {
 			stream.Config{Workers: 4})
 		days := 0
 		for {
-			if _, err := src.Next(); err != nil {
+			bt, err := src.Next()
+			if err != nil {
 				break
 			}
+			bt.Release() // recycle the day buffer, as the engine would
 			days++
 		}
 		if days != 7 {

@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	mnosim -out ./data [-users N] [-seed S] [-raw]
+//	mnosim -out ./data [-users N] [-seed S] [-raw] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -29,6 +29,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/feeds"
+	"repro/internal/mobsim"
+	"repro/internal/prof"
 	"repro/internal/signaling"
 	"repro/internal/stats"
 	"repro/internal/timegrid"
@@ -37,14 +39,19 @@ import (
 
 func main() {
 	var (
-		out   = flag.String("out", "data", "output directory")
-		users = flag.Int("users", 8000, "synthetic native smartphone users")
-		seed  = flag.Uint64("seed", 42, "master random seed")
-		raw   = flag.Bool("raw", false, "also export raw per-visit traces and a sample signalling feed (large)")
+		out        = flag.String("out", "data", "output directory")
+		users      = flag.Int("users", 8000, "synthetic native smartphone users")
+		seed       = flag.Uint64("seed", 42, "master random seed")
+		raw        = flag.Bool("raw", false, "also export raw per-visit traces and a sample signalling feed (large)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if err := run(*out, *users, *seed, *raw); err != nil {
+	err := prof.Run(*cpuProfile, *memProfile, func() error {
+		return run(*out, *users, *seed, *raw)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnosim:", err)
 		os.Exit(1)
 	}
@@ -111,13 +118,16 @@ func writeRaw(out string, r *experiments.Results) error {
 		defer kf.Close()
 		kw = feeds.NewKPIWriter(kf)
 	}
+	buf := mobsim.NewDayBuffer()
+	var cells []traffic.CellDay
 	for day := timegrid.SimDay(0); day < timegrid.SimDays; day++ {
-		traces := r.Dataset.Sim.Day(day)
+		traces := r.Dataset.Sim.DayInto(buf, day)
 		if err := tw.WriteDay(day, traces); err != nil {
 			return err
 		}
 		if kw != nil {
-			if err := kw.WriteDay(day, r.Dataset.Engine.Day(day, traces)); err != nil {
+			cells = r.Dataset.Engine.DayAppend(cells[:0], day, traces)
+			if err := kw.WriteDay(day, cells); err != nil {
 				return err
 			}
 		}

@@ -25,6 +25,7 @@
 // Usage:
 //
 //	mnostream [-feeds DIR] [-users N] [-seed S] [-workers W] [-shards K] [-days D]
+//	          [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -36,6 +37,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/feeds"
 	"repro/internal/mobsim"
+	"repro/internal/prof"
 	"repro/internal/signaling"
 	"repro/internal/stream"
 	"repro/internal/timegrid"
@@ -44,17 +46,22 @@ import (
 
 func main() {
 	var (
-		feedDir = flag.String("feeds", "", "feed directory to replay (empty: run the simulator inline)")
-		users   = flag.Int("users", 8000, "synthetic native smartphone users (must match the feed's value in -feeds mode)")
-		seed    = flag.Uint64("seed", 42, "master random seed (must match the feed's value in -feeds mode)")
-		workers = flag.Int("workers", 0, "worker goroutines (0: GOMAXPROCS)")
-		shards  = flag.Int("shards", 0, "logical shards (0: default)")
-		days    = flag.Int("days", timegrid.SimDays, "days to stream in inline mode")
-		noSig   = flag.Bool("nosignaling", false, "skip control-plane generation in inline mode")
+		feedDir    = flag.String("feeds", "", "feed directory to replay (empty: run the simulator inline)")
+		users      = flag.Int("users", 8000, "synthetic native smartphone users (must match the feed's value in -feeds mode)")
+		seed       = flag.Uint64("seed", 42, "master random seed (must match the feed's value in -feeds mode)")
+		workers    = flag.Int("workers", 0, "worker goroutines (0: GOMAXPROCS)")
+		shards     = flag.Int("shards", 0, "logical shards (0: default)")
+		days       = flag.Int("days", timegrid.SimDays, "days to stream in inline mode")
+		noSig      = flag.Bool("nosignaling", false, "skip control-plane generation in inline mode")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	if err := run(*feedDir, *users, *seed, *workers, *shards, *days, !*noSig); err != nil {
+	err := prof.Run(*cpuProfile, *memProfile, func() error {
+		return run(*feedDir, *users, *seed, *workers, *shards, *days, !*noSig)
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnostream:", err)
 		os.Exit(1)
 	}

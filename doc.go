@@ -34,4 +34,12 @@
 // benchmark each), include the ablations called out in DESIGN.md, and
 // track the streaming engine's speedup over the serial pipeline
 // (BenchmarkStreamWorkers1/4/8 vs BenchmarkRunStandardSerial).
+//
+// The per-day hot path is zero-allocation in steady state: arena-backed
+// day buffers (mobsim.DayBuffer), engine-owned KPI scratch
+// (traffic.Engine.DayAppend), reusable per-user merge scratch
+// (core.VisitMerger) and batch recycling through the streaming engine
+// (stream.DayBatch.Release). PERFORMANCE.md documents the guarantees,
+// the profiling workflow (-cpuprofile/-memprofile on both binaries) and
+// scripts/bench.sh, which snapshots the perf trajectory.
 package repro

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mobsim"
+	"repro/internal/timegrid"
+)
+
+// TestVisitMergerSteadyStateAllocs pins the analyzer-side guarantee: a
+// warm VisitMerger runs the whole per-user-day §2.3 pipeline — merge,
+// top-N, entropy, gyration, and the six per-bin variants — without heap
+// allocation. The pre-refactor helpers allocated a map, a sample slice
+// and a sort closure per user-day (plus two slices inside Gyration):
+// five-plus allocations per user, per analyzer, per day.
+func TestVisitMergerSteadyStateAllocs(t *testing.T) {
+	s := fixtureResults(t)
+	topo := s.Dataset.Topology
+	traces := s.Sim.Day(timegrid.SimDay(timegrid.StudyDayOffset + 30))
+
+	var mg VisitMerger
+	for i := range traces {
+		mg.DayMetrics(&traces[i], topo, DefaultTopN) // warm
+		mg.AllBinMetrics(&traces[i], topo, DefaultTopN)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(len(traces), func() {
+		tr := &traces[i%len(traces)]
+		mg.DayMetrics(tr, topo, DefaultTopN)
+		mg.AllBinMetrics(tr, topo, DefaultTopN)
+		i++
+	})
+	if allocs > 0 {
+		t.Errorf("VisitMerger pipeline allocates %.1f times per user-day in steady state, want 0", allocs)
+	}
+}
+
+// TestVisitMergerMatchesHelpers asserts the merger is bit-identical to
+// the allocating package helpers across a full simulated day.
+func TestVisitMergerMatchesHelpers(t *testing.T) {
+	s := fixtureResults(t)
+	topo := s.Dataset.Topology
+	traces := s.Sim.Day(timegrid.SimDay(timegrid.StudyDayOffset + 12))
+
+	var mg VisitMerger
+	for i := range traces {
+		tr := &traces[i]
+		if got, want := mg.DayMetrics(tr, topo, DefaultTopN), ComputeDayMetrics(tr, topo, DefaultTopN); got != want {
+			t.Fatalf("user %d: merger %+v vs helper %+v", tr.User, got, want)
+		}
+		if got, want := mg.AllBinMetrics(tr, topo, DefaultTopN), ComputeAllBinMetrics(tr, topo, DefaultTopN); got != want {
+			t.Fatalf("user %d bins: merger %+v vs helper %+v", tr.User, got, want)
+		}
+	}
+}
+
+// TestHomeDetectorSteadyStateAllocs checks the night-scratch reuse: a
+// detector that has already seen a night from every user consumes
+// further nights without per-call allocation (the per-user maps exist,
+// so folding a night touches only existing keys).
+func TestHomeDetectorSteadyStateAllocs(t *testing.T) {
+	s := fixtureResults(t)
+	hd := NewHomeDetector(s.Dataset.Topology)
+	days := []timegrid.SimDay{1, 2}
+	traces := make([][]mobsim.DayTrace, len(days))
+	for i, day := range days {
+		traces[i] = s.Sim.Day(day)
+		hd.ConsumeDay(day, traces[i]) // warm: per-user state now exists
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(4, func() {
+		hd.ConsumeDay(days[i%len(days)], traces[i%len(days)])
+		i++
+	})
+	if allocs > 0 {
+		t.Errorf("HomeDetector.ConsumeDay allocates %.1f times per day in steady state, want 0", allocs)
+	}
+}

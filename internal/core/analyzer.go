@@ -63,6 +63,7 @@ func (g *groupAcc) series(label string, metric MobilityMetric) stats.Series {
 type MobilityAnalyzer struct {
 	pop  *popsim.Population
 	topN int
+	mg   VisitMerger // per-user merge scratch for the serial ConsumeDay path
 
 	national  groupAcc
 	byCounty  []groupAcc
@@ -89,7 +90,7 @@ func (a *MobilityAnalyzer) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTr
 	topo := a.pop.Topology()
 	for i := range traces {
 		t := &traces[i]
-		a.addUser(sd, t.User, ComputeDayMetrics(t, topo, a.topN))
+		a.addUser(sd, t.User, a.mg.DayMetrics(t, topo, a.topN))
 	}
 }
 

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/mobsim"
 	"repro/internal/popsim"
 	"repro/internal/radio"
@@ -11,41 +9,12 @@ import (
 )
 
 // ComputeAllBinMetrics computes the mobility metrics for each of the six
-// disjoint 4-hour bins of a day in a single pass over the trace — the
-// per-bin aggregation §2.3 describes alongside the whole-day metrics.
+// disjoint 4-hour bins of a day — the per-bin aggregation §2.3 describes
+// alongside the whole-day metrics. Hot loops should hold a VisitMerger
+// and call its AllBinMetrics method, which reuses scratch across users.
 func ComputeAllBinMetrics(t *mobsim.DayTrace, topo *radio.Topology, topN int) [timegrid.BinsPerDay]DayMetrics {
-	var perBin [timegrid.BinsPerDay]map[radio.TowerID]float64
-	for _, v := range t.Visits {
-		m := perBin[v.Bin]
-		if m == nil {
-			m = make(map[radio.TowerID]float64, 2)
-			perBin[v.Bin] = m
-		}
-		m[v.Tower] += float64(v.Seconds)
-	}
-	var out [timegrid.BinsPerDay]DayMetrics
-	for b := range perBin {
-		if perBin[b] == nil {
-			continue
-		}
-		samples := make([]VisitSample, 0, len(perBin[b]))
-		for tw, s := range perBin[b] {
-			samples = append(samples, VisitSample{Tower: tw, Loc: topo.Tower(tw).Loc, Seconds: s})
-		}
-		sort.Slice(samples, func(i, j int) bool {
-			if samples[i].Seconds != samples[j].Seconds {
-				return samples[i].Seconds > samples[j].Seconds
-			}
-			return samples[i].Tower < samples[j].Tower
-		})
-		samples = TopN(samples, topN)
-		out[b] = DayMetrics{
-			Entropy:  Entropy(samples),
-			Gyration: Gyration(samples),
-			Towers:   len(samples),
-		}
-	}
-	return out
+	var m VisitMerger
+	return m.AllBinMetrics(t, topo, topN)
 }
 
 // BinAnalyzer aggregates national mobility metrics per 4-hour bin of the
@@ -56,6 +25,7 @@ func ComputeAllBinMetrics(t *mobsim.DayTrace, topo *radio.Topology, topN int) [t
 type BinAnalyzer struct {
 	pop  *popsim.Population
 	topN int
+	mg   VisitMerger // per-user merge scratch, reused across the stream
 
 	sumE [timegrid.BinsPerDay][timegrid.StudyDays]float64
 	sumG [timegrid.BinsPerDay][timegrid.StudyDays]float64
@@ -75,7 +45,7 @@ func (a *BinAnalyzer) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrace) 
 	}
 	topo := a.pop.Topology()
 	for i := range traces {
-		ms := ComputeAllBinMetrics(&traces[i], topo, a.topN)
+		ms := a.mg.AllBinMetrics(&traces[i], topo, a.topN)
 		for b := 0; b < timegrid.BinsPerDay; b++ {
 			if ms[b].Towers == 0 {
 				continue
@@ -112,6 +82,7 @@ func (a *BinAnalyzer) BinSeries(bin timegrid.Bin, metric MobilityMetric) stats.S
 type BandAnalyzer struct {
 	pop  *popsim.Population
 	topN int
+	mg   VisitMerger // per-user merge scratch, reused across the stream
 
 	gyr [timegrid.StudyDays]*stats.QuantileBand
 	ent [timegrid.StudyDays]*stats.QuantileBand
@@ -138,7 +109,7 @@ func (a *BandAnalyzer) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrace)
 	}
 	topo := a.pop.Topology()
 	for i := range traces {
-		m := ComputeDayMetrics(&traces[i], topo, a.topN)
+		m := a.mg.DayMetrics(&traces[i], topo, a.topN)
 		a.gyr[sd].Add(m.Gyration)
 		a.ent[sd].Add(m.Entropy)
 	}

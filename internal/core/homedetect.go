@@ -25,6 +25,18 @@ type HomeDetector struct {
 	// per user: night dwell seconds and distinct-night counts per tower.
 	nightSeconds map[popsim.UserID]map[radio.TowerID]float64
 	nightCount   map[popsim.UserID]map[radio.TowerID]int
+
+	// night is one night's per-tower dwell, reused across ConsumeTrace
+	// calls so the hot path allocates nothing per user-day. A user sees
+	// at most a handful of towers overnight, so the linear scan wins
+	// over a map.
+	night []towerDwell
+}
+
+// towerDwell is one (tower, dwell) pair of a single night.
+type towerDwell struct {
+	tower radio.TowerID
+	sec   float64
 }
 
 // NewHomeDetector returns a detector with the paper's parameters.
@@ -58,18 +70,28 @@ func (h *HomeDetector) ConsumeTrace(day timegrid.SimDay, t *mobsim.DayTrace) {
 	if !day.InFebruary() {
 		return
 	}
-	// Night dwell per tower for this night.
-	var perTower map[radio.TowerID]float64
+	// Night dwell per tower for this night, accumulated in visit order
+	// (the same per-tower addition order as the former map, so the
+	// per-user sums stay bit-identical) in the reused scratch.
+	night := h.night[:0]
 	for _, v := range t.Visits {
 		if !h.isNight(v.Bin) {
 			continue
 		}
-		if perTower == nil {
-			perTower = make(map[radio.TowerID]float64, 2)
+		found := false
+		for i := range night {
+			if night[i].tower == v.Tower {
+				night[i].sec += float64(v.Seconds)
+				found = true
+				break
+			}
 		}
-		perTower[v.Tower] += float64(v.Seconds)
+		if !found {
+			night = append(night, towerDwell{tower: v.Tower, sec: float64(v.Seconds)})
+		}
 	}
-	if perTower == nil {
+	h.night = night
+	if len(night) == 0 {
 		return
 	}
 	us, ok := h.nightSeconds[t.User]
@@ -79,9 +101,9 @@ func (h *HomeDetector) ConsumeTrace(day timegrid.SimDay, t *mobsim.DayTrace) {
 		h.nightCount[t.User] = make(map[radio.TowerID]int, 2)
 	}
 	uc := h.nightCount[t.User]
-	for tw, s := range perTower {
-		us[tw] += s
-		uc[tw]++
+	for _, td := range night {
+		us[td.tower] += td.sec
+		uc[td.tower]++
 	}
 }
 

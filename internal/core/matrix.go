@@ -23,6 +23,12 @@ type MobilityMatrix struct {
 	cohort     map[popsim.UserID]bool
 	topN       int
 
+	// mg/countyScratch serve the serial ConsumeDay path; sharded
+	// pipelines pass their own per-goroutine merger and destination to
+	// UserCountiesInto instead.
+	mg            VisitMerger
+	countyScratch []census.CountyID
+
 	// presence[county][studyDay] = cohort members active in county.
 	presence [][]float64
 	// atHome[studyDay] = cohort members whose visited counties include
@@ -62,7 +68,9 @@ func (m *MobilityMatrix) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrac
 		return
 	}
 	for i := range traces {
-		if counties, ok := m.UserCounties(&traces[i]); ok {
+		counties, ok := m.UserCountiesInto(&m.mg, &traces[i], m.countyScratch[:0])
+		m.countyScratch = counties
+		if ok {
 			m.ConsumeUserCounties(sd, counties)
 		}
 	}
@@ -72,22 +80,39 @@ func (m *MobilityMatrix) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrac
 // in over one day, reporting whether the user belongs to the cohort.
 // This is the expensive per-user half of ConsumeDay, split out so a
 // sharded pipeline can run it in parallel and fold the results back in
-// with ConsumeUserCounties.
+// with ConsumeUserCounties. It allocates per call; hot loops should use
+// UserCountiesInto with a reused merger and destination.
 func (m *MobilityMatrix) UserCounties(t *mobsim.DayTrace) ([]census.CountyID, bool) {
+	var mg VisitMerger
+	return m.UserCountiesInto(&mg, t, nil)
+}
+
+// UserCountiesInto is UserCounties with caller-owned scratch: mg supplies
+// the visit-merge buffers and the county set is appended to dst (which
+// must be empty; pass prev[:0] to reuse capacity). ConsumeUserCounties
+// treats the set as unordered, so the first-appearance order emitted
+// here folds identically to any other order. Concurrent callers must use
+// one merger per goroutine; the matrix itself is not written.
+func (m *MobilityMatrix) UserCountiesInto(mg *VisitMerger, t *mobsim.DayTrace, dst []census.CountyID) ([]census.CountyID, bool) {
 	if !m.cohort[t.User] {
-		return nil, false
+		return dst, false
 	}
 	topo := m.pop.Topology()
-	samples := TopN(MergeVisits(t, topo), m.topN)
-	seen := make(map[census.CountyID]bool, 3)
+	samples := TopN(mg.Merge(t, topo), m.topN)
 	for _, s := range samples {
-		seen[topo.Tower(s.Tower).County] = true
+		c := topo.Tower(s.Tower).County
+		seen := false
+		for _, prev := range dst {
+			if prev == c {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, c)
+		}
 	}
-	out := make([]census.CountyID, 0, len(seen))
-	for c := range seen {
-		out = append(out, c)
-	}
-	return out, true
+	return dst, true
 }
 
 // ConsumeUserCounties folds one cohort member's visited-county set for a

@@ -11,7 +11,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/geo"
 	"repro/internal/mobsim"
@@ -33,23 +32,12 @@ const DefaultTopN = 20
 
 // MergeVisits collapses a day trace into one VisitSample per distinct
 // tower, summing dwell across bins, with locations resolved against the
-// topology. The result is sorted by descending dwell.
+// topology. The result is sorted by descending dwell. It allocates a
+// fresh slice per call; hot loops should hold a VisitMerger and call its
+// Merge method instead.
 func MergeVisits(t *mobsim.DayTrace, topo *radio.Topology) []VisitSample {
-	dwell := make(map[radio.TowerID]float64, 8)
-	for _, v := range t.Visits {
-		dwell[v.Tower] += float64(v.Seconds)
-	}
-	out := make([]VisitSample, 0, len(dwell))
-	for tw, s := range dwell {
-		out = append(out, VisitSample{Tower: tw, Loc: topo.Tower(tw).Loc, Seconds: s})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Seconds != out[j].Seconds {
-			return out[i].Seconds > out[j].Seconds
-		}
-		return out[i].Tower < out[j].Tower // deterministic tie-break
-	})
-	return out
+	var m VisitMerger
+	return m.Merge(t, topo)
 }
 
 // TopN returns the first n samples of a descending-sorted sample list
@@ -115,40 +103,22 @@ type DayMetrics struct {
 
 // ComputeDayMetrics runs the full §2.3 per-user-day pipeline: merge
 // visits per tower, apply the top-N filter, and compute both metrics.
+// Hot loops should hold a VisitMerger and call its DayMetrics method,
+// which reuses the merge scratch across users.
 func ComputeDayMetrics(t *mobsim.DayTrace, topo *radio.Topology, topN int) DayMetrics {
-	samples := TopN(MergeVisits(t, topo), topN)
-	return DayMetrics{
-		Entropy:  Entropy(samples),
-		Gyration: Gyration(samples),
-		Towers:   len(samples),
-	}
+	var m VisitMerger
+	return m.DayMetrics(t, topo, topN)
 }
 
 // BinMetrics computes the metrics over a single 4-hour bin of the day,
 // supporting the paper's per-bin aggregation (§2.3 computes statistics
 // over six disjoint 4-hour bins as well as over the full day).
 func BinMetrics(t *mobsim.DayTrace, topo *radio.Topology, bin int, topN int) DayMetrics {
-	dwell := make(map[radio.TowerID]float64, 4)
-	for _, v := range t.Visits {
-		if int(v.Bin) != bin {
-			continue
-		}
-		dwell[v.Tower] += float64(v.Seconds)
-	}
-	samples := make([]VisitSample, 0, len(dwell))
-	for tw, s := range dwell {
-		samples = append(samples, VisitSample{Tower: tw, Loc: topo.Tower(tw).Loc, Seconds: s})
-	}
-	sort.Slice(samples, func(i, j int) bool {
-		if samples[i].Seconds != samples[j].Seconds {
-			return samples[i].Seconds > samples[j].Seconds
-		}
-		return samples[i].Tower < samples[j].Tower
-	})
-	samples = TopN(samples, topN)
+	var m VisitMerger
+	samples := TopN(m.mergeBin(t, topo, bin), topN)
 	return DayMetrics{
 		Entropy:  Entropy(samples),
-		Gyration: Gyration(samples),
+		Gyration: m.gyration(samples),
 		Towers:   len(samples),
 	}
 }

@@ -89,31 +89,39 @@ func NewDataset(cfg Config) *Dataset {
 	return d
 }
 
-// DayConsumer receives one simulated day of traces.
+// DayConsumer receives one simulated day of traces. The slice is only
+// valid for the duration of the call — the runners reuse one day buffer
+// across the whole pass — so implementations must copy anything they
+// keep.
 type DayConsumer interface {
 	ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrace)
 }
 
-// KPIConsumer receives one simulated day of per-cell KPI records.
+// KPIConsumer receives one simulated day of per-cell KPI records, under
+// the same ownership rule as DayConsumer: copy anything kept past the
+// call.
 type KPIConsumer interface {
 	ConsumeDay(day timegrid.SimDay, cells []traffic.CellDay)
 }
 
 // Run streams every simulated day through the given consumers in one
-// pass. KPI records are only generated if at least one KPIConsumer is
-// supplied and the dataset was built with KPI enabled.
+// pass, reusing a single day buffer (and KPI record buffer) across days.
+// KPI records are only generated if at least one KPIConsumer is supplied
+// and the dataset was built with KPI enabled.
 func (d *Dataset) Run(traceConsumers []DayConsumer, kpiConsumers []KPIConsumer) {
 	firstDay := timegrid.SimDay(0)
 	if d.Config.SkipFebruary {
 		firstDay = timegrid.SimDay(timegrid.StudyDayOffset)
 	}
+	buf := mobsim.NewDayBuffer()
+	var cells []traffic.CellDay
 	for day := firstDay; day < timegrid.SimDays; day++ {
-		traces := d.Sim.Day(day)
+		traces := d.Sim.DayInto(buf, day)
 		for _, c := range traceConsumers {
 			c.ConsumeDay(day, traces)
 		}
 		if d.Engine != nil && len(kpiConsumers) > 0 {
-			cells := d.Engine.Day(day, traces)
+			cells = d.Engine.DayAppend(cells[:0], day, traces)
 			for _, c := range kpiConsumers {
 				c.ConsumeDay(day, cells)
 			}
@@ -144,10 +152,13 @@ func RunStandard(cfg Config) *Results {
 	d := NewDataset(cfg)
 	r := &Results{Dataset: d}
 
-	// Pass 1: February only, for home detection.
+	// Pass 1: February only, for home detection. One day buffer serves
+	// the whole run: every analyzer consumes a day before the next is
+	// simulated, so nothing outlives the buffer's reuse.
+	buf := mobsim.NewDayBuffer()
 	hd := core.NewHomeDetector(d.Topology)
 	for day := timegrid.SimDay(0); day < timegrid.FebruaryDays; day++ {
-		hd.ConsumeDay(day, d.Sim.Day(day))
+		hd.ConsumeDay(day, d.Sim.DayInto(buf, day))
 	}
 	r.Homes = hd.Detect()
 
@@ -170,13 +181,14 @@ func RunStandard(cfg Config) *Results {
 	}
 
 	// Pass 2: the study window.
+	var cells []traffic.CellDay
 	for day := timegrid.SimDay(timegrid.StudyDayOffset); day < timegrid.SimDays; day++ {
-		traces := d.Sim.Day(day)
+		traces := d.Sim.DayInto(buf, day)
 		for _, c := range traceConsumers {
 			c.ConsumeDay(day, traces)
 		}
 		if d.Engine != nil {
-			cells := d.Engine.Day(day, traces)
+			cells = d.Engine.DayAppend(cells[:0], day, traces)
 			for _, c := range kpiConsumers {
 				c.ConsumeDay(day, cells)
 			}

@@ -48,8 +48,8 @@ func RunStreamingConfig(cfg Config, scfg stream.Config) *Results {
 	// Pass 2: the study window, with sharded mobility/matrix stages and
 	// the exact KPI analyzer in the merge stage.
 	study := stream.NewEngine(scfg)
-	study.AddTraceSharder(stream.NewMobility(r.Mobility))
-	study.AddTraceSharder(stream.NewMatrix(r.Matrix))
+	study.AddTraceSharder(stream.NewMobility(r.Mobility, scfg.Shards))
+	study.AddTraceSharder(stream.NewMatrix(r.Matrix, scfg.Shards))
 	kpiEngine := d.Engine
 	if kpiEngine != nil {
 		r.KPI = core.NewKPIAnalyzer(d.Topology)

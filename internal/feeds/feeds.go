@@ -102,40 +102,52 @@ func NewTraceReader(r io.Reader) (*TraceReader, error) {
 }
 
 // ReadDay reads the next full day of traces. It returns io.EOF when the
-// feed is exhausted.
+// feed is exhausted. It allocates a fresh arena per day; streaming
+// replay loops should hold a mobsim.DayBuffer and call ReadDayInto.
 func (t *TraceReader) ReadDay() (timegrid.SimDay, []mobsim.DayTrace, error) {
-	var (
-		day     timegrid.SimDay = -1
-		traces  []mobsim.DayTrace
-		current *mobsim.DayTrace
-	)
+	buf := mobsim.NewDayBuffer()
+	day, err := t.ReadDayInto(buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	return day, buf.Traces(), nil
+}
+
+// ReadDayInto reads the next full day of traces into buf, reusing its
+// arena: a warm buffer decodes a day without allocating. The traces are
+// materialized with buf.Traces() and stay valid until buf's next Reset.
+// It returns io.EOF when the feed is exhausted.
+func (t *TraceReader) ReadDayInto(buf *mobsim.DayBuffer) (timegrid.SimDay, error) {
+	day := timegrid.SimDay(-1)
+	var current popsim.UserID
 	for {
 		rec, err := t.next()
 		if err == io.EOF {
 			if day < 0 {
-				return 0, nil, io.EOF
+				return 0, io.EOF
 			}
-			return day, traces, nil
+			return day, nil
 		}
 		if err != nil {
-			return 0, nil, err
+			return 0, err
 		}
 		d, v, user, err := parseTraceRow(rec)
 		if err != nil {
-			return 0, nil, err
+			return 0, err
 		}
 		if day < 0 {
 			day = d
+			buf.Reset(day)
 		}
 		if d != day {
 			t.peeked = rec // belongs to the next day
-			return day, traces, nil
+			return day, nil
 		}
-		if current == nil || current.User != user {
-			traces = append(traces, mobsim.DayTrace{User: user})
-			current = &traces[len(traces)-1]
+		if buf.Len() == 0 || current != user {
+			buf.BeginUser(user)
+			current = user
 		}
-		current.Visits = append(current.Visits, v)
+		buf.Append(v)
 	}
 }
 
@@ -249,9 +261,15 @@ func NewKPIReader(r io.Reader) (*KPIReader, error) {
 
 // ReadDay reads the next full day of cell records; io.EOF at the end.
 func (k *KPIReader) ReadDay() (timegrid.SimDay, []traffic.CellDay, error) {
+	return k.ReadDayAppend(nil)
+}
+
+// ReadDayAppend is ReadDay appending into dst (pass prev[:0] to reuse
+// capacity across days).
+func (k *KPIReader) ReadDayAppend(dst []traffic.CellDay) (timegrid.SimDay, []traffic.CellDay, error) {
 	var (
 		day   timegrid.SimDay = -1
-		cells []traffic.CellDay
+		cells                 = dst
 	)
 	for {
 		rec, err := k.next()

@@ -5,7 +5,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
+	"repro/internal/mobsim"
 	"repro/internal/signaling"
 	"repro/internal/stream"
 	"repro/internal/timegrid"
@@ -19,21 +21,46 @@ const (
 	EventFeedName = "events.csv"
 )
 
+// feedPoolSize bounds the recycled per-day backing stores a FeedSource
+// keeps. It covers the deepest pipeline the package is used with (a
+// stream.Prefetch window plus the day in the engine); when consumers
+// hold more than this, or never call Release, the source simply
+// allocates fresh stores — liveness never depends on recycling.
+const feedPoolSize = 8
+
+// feedDayRes is one recyclable backing store for a replayed day.
+type feedDayRes struct {
+	buf    *mobsim.DayBuffer
+	cells  []traffic.CellDay
+	events []signaling.Event
+	// out is true while the store is checked out; the recycle hook
+	// swaps it back, making release idempotent across DayBatch copies.
+	out     atomic.Bool
+	recycle func()
+}
+
 // FeedSource replays persisted CSV feeds as day batches for the
 // streaming engine (stream.Source). The trace feed drives the day
 // cursor; per-cell KPI records and control-plane events for the same day
 // are attached when their feeds are present. All readers are streaming:
 // one day of records is held at a time.
+//
+// Batches are produced into pooled record buffers; callers that release
+// each batch when done (stream.Engine.Run does, after the merge stage)
+// replay the whole feed with a bounded number of live buffers.
 type FeedSource struct {
 	traces *TraceReader
 	kpi    *KPIReader
 	events *EventReader
 
+	free chan *feedDayRes
+
 	pendingKPIDay timegrid.SimDay
 	pendingCells  []traffic.CellDay
 	kpiDone       bool
 
-	peekedEvent *signaling.Event
+	peekedEvent signaling.Event
+	hasPeeked   bool
 	eventsDone  bool
 
 	closers []io.Closer
@@ -43,6 +70,7 @@ type FeedSource struct {
 // be nil.
 func NewFeedSource(traces *TraceReader, kpi *KPIReader, events *EventReader) *FeedSource {
 	return &FeedSource{traces: traces, kpi: kpi, events: events,
+		free:          make(chan *feedDayRes, feedPoolSize),
 		pendingKPIDay: -1, kpiDone: kpi == nil, eventsDone: events == nil}
 }
 
@@ -96,81 +124,114 @@ func (s *FeedSource) Close() error {
 	return first
 }
 
+// getRes draws a backing store from the free list, or allocates one.
+func (s *FeedSource) getRes() *feedDayRes {
+	select {
+	case r := <-s.free:
+		r.out.Store(true)
+		return r
+	default:
+	}
+	r := &feedDayRes{buf: mobsim.NewDayBuffer()}
+	r.recycle = func() {
+		if !r.out.CompareAndSwap(true, false) {
+			return // already recycled via another batch copy
+		}
+		select {
+		case s.free <- r:
+		default:
+		}
+	}
+	r.out.Store(true)
+	return r
+}
+
 // Next returns the next day batch; io.EOF when the trace feed ends.
 func (s *FeedSource) Next() (stream.DayBatch, error) {
-	day, traces, err := s.traces.ReadDay()
+	res := s.getRes()
+	day, err := s.traces.ReadDayInto(res.buf)
 	if err != nil {
+		res.recycle()
 		return stream.DayBatch{}, err // io.EOF passes through
 	}
-	b := stream.DayBatch{Day: day, Traces: traces}
-	if cells, err := s.kpiFor(day); err != nil {
+	b := stream.DayBatch{Day: day, Traces: res.buf.Traces(), Recycle: res.recycle}
+	res.cells, err = s.kpiFor(day, res.cells[:0])
+	if err != nil {
+		res.recycle()
 		return stream.DayBatch{}, err
-	} else {
-		b.Cells = cells
 	}
-	if events, err := s.eventsFor(day); err != nil {
+	if len(res.cells) > 0 {
+		b.Cells = res.cells
+	}
+	res.events, err = s.eventsFor(day, res.events[:0])
+	if err != nil {
+		res.recycle()
 		return stream.DayBatch{}, err
-	} else {
-		b.Events = events
+	}
+	if len(res.events) > 0 {
+		b.Events = res.events
 	}
 	return b, nil
 }
 
-// kpiFor returns the KPI records of the given day, skipping feed days
-// that precede it (e.g. a trace feed opened mid-window).
-func (s *FeedSource) kpiFor(day timegrid.SimDay) ([]traffic.CellDay, error) {
+// kpiFor appends the KPI records of the given day to dst, skipping feed
+// days that precede it (e.g. a trace feed opened mid-window). The
+// one-day read-ahead lives in the source's own pending buffer and is
+// copied out, so dst never aliases reader state.
+func (s *FeedSource) kpiFor(day timegrid.SimDay, dst []traffic.CellDay) ([]traffic.CellDay, error) {
 	for !s.kpiDone {
 		if s.pendingKPIDay < 0 {
-			d, cells, err := s.kpi.ReadDay()
+			d, cells, err := s.kpi.ReadDayAppend(s.pendingCells[:0])
 			if err == io.EOF {
 				s.kpiDone = true
 				break
 			}
 			if err != nil {
-				return nil, err
+				return dst, err
 			}
 			s.pendingKPIDay, s.pendingCells = d, cells
 		}
 		switch {
 		case s.pendingKPIDay == day:
-			cells := s.pendingCells
-			s.pendingKPIDay, s.pendingCells = -1, nil
-			return cells, nil
+			dst = append(dst, s.pendingCells...)
+			s.pendingKPIDay = -1
+			return dst, nil
 		case s.pendingKPIDay < day:
-			s.pendingKPIDay, s.pendingCells = -1, nil // stale feed day
+			s.pendingKPIDay = -1 // stale feed day
 		default:
-			return nil, nil // feed is ahead; no records for this day
+			return dst, nil // feed is ahead; no records for this day
 		}
 	}
-	return nil, nil
+	return dst, nil
 }
 
-// eventsFor returns the events of the given day, preserving feed order.
-func (s *FeedSource) eventsFor(day timegrid.SimDay) ([]signaling.Event, error) {
-	var out []signaling.Event
+// eventsFor appends the events of the given day to dst, preserving feed
+// order.
+func (s *FeedSource) eventsFor(day timegrid.SimDay, dst []signaling.Event) ([]signaling.Event, error) {
 	for !s.eventsDone {
-		ev := s.peekedEvent
-		s.peekedEvent = nil
-		if ev == nil {
+		var ev signaling.Event
+		if s.hasPeeked {
+			ev, s.hasPeeked = s.peekedEvent, false
+		} else {
 			e, err := s.events.Read()
 			if err == io.EOF {
 				s.eventsDone = true
 				break
 			}
 			if err != nil {
-				return out, err
+				return dst, err
 			}
-			ev = &e
+			ev = e
 		}
 		switch {
 		case ev.Day == day:
-			out = append(out, *ev)
+			dst = append(dst, ev)
 		case ev.Day < day:
 			// stale feed day; drop
 		default:
-			s.peekedEvent = ev // belongs to a later day
-			return out, nil
+			s.peekedEvent, s.hasPeeked = ev, true // belongs to a later day
+			return dst, nil
 		}
 	}
-	return out, nil
+	return dst, nil
 }

@@ -1,0 +1,80 @@
+package mobsim
+
+import (
+	"repro/internal/popsim"
+	"repro/internal/timegrid"
+)
+
+// DayBuffer is an arena-backed container for one day of traces: every
+// visit of every agent lives in one contiguous slice, per-agent extents
+// are recorded as offsets, and the trace views are materialized once the
+// day is complete. A warm buffer (capacities grown to a typical day)
+// refills without any heap allocation, which is what makes the per-day
+// pipeline zero-allocation in steady state.
+//
+// The buffer also owns the simulator's per-agent builder scratch, so one
+// DayBuffer per goroutine is the unit of concurrency: Simulator.DayInto
+// may run on any number of buffers in parallel, never on one buffer from
+// two goroutines.
+//
+// Ownership: everything returned by Traces aliases the buffer and is
+// valid only until the next Reset (or DayInto). Callers that keep visits
+// past that point must copy them.
+type DayBuffer struct {
+	day    timegrid.SimDay
+	visits []Visit          // the arena
+	users  []popsim.UserID  // one entry per trace, in append order
+	starts []int            // visits offset where each trace begins
+	traces []DayTrace       // materialized views into the arena
+
+	// b is the per-agent simulation scratch (bin staging, weight
+	// buffers), reused across agents and days.
+	b dayBuilder
+}
+
+// NewDayBuffer returns an empty buffer; capacities grow to the working
+// size on first use and are retained across Resets.
+func NewDayBuffer() *DayBuffer { return &DayBuffer{} }
+
+// Reset empties the buffer for a new day, keeping all capacity.
+func (d *DayBuffer) Reset(day timegrid.SimDay) {
+	d.day = day
+	d.visits = d.visits[:0]
+	d.users = d.users[:0]
+	d.starts = d.starts[:0]
+}
+
+// Day returns the day the buffer currently holds.
+func (d *DayBuffer) Day() timegrid.SimDay { return d.day }
+
+// BeginUser starts a new trace owned by id; subsequent Append calls add
+// its visits. Traces must be begun in the order they should appear.
+func (d *DayBuffer) BeginUser(id popsim.UserID) {
+	d.users = append(d.users, id)
+	d.starts = append(d.starts, len(d.visits))
+}
+
+// Append adds one visit to the trace begun by the last BeginUser.
+func (d *DayBuffer) Append(v Visit) { d.visits = append(d.visits, v) }
+
+// Len returns the number of traces begun so far.
+func (d *DayBuffer) Len() int { return len(d.users) }
+
+// Traces materializes the per-agent views into the arena. Each view is
+// capacity-clipped, so appending to one cannot clobber its neighbour.
+// The result aliases the buffer and is valid until the next Reset.
+func (d *DayBuffer) Traces() []DayTrace {
+	n := len(d.users)
+	if cap(d.traces) < n {
+		d.traces = make([]DayTrace, n)
+	}
+	d.traces = d.traces[:n]
+	for i := 0; i < n; i++ {
+		end := len(d.visits)
+		if i+1 < n {
+			end = d.starts[i+1]
+		}
+		d.traces[i] = DayTrace{User: d.users[i], Visits: d.visits[d.starts[i]:end:end]}
+	}
+	return d.traces
+}

@@ -52,6 +52,11 @@ type Simulator struct {
 	// homeAlt caches a per-user alternate tower near home, modelling the
 	// cell-reselection churn phones exhibit while stationary.
 	homeAlt []radio.TowerID
+
+	// awayNames/awayWeights cache pandemic.RelocationDestinations, which
+	// builds fresh slices on every call; the destination set is static.
+	awayNames   []string
+	awayWeights []float64
 }
 
 // New returns a simulator for the population under the scenario.
@@ -71,6 +76,7 @@ func New(pop *popsim.Population, scen *pandemic.Scenario, seed uint64) *Simulato
 		u := &pop.Users[i]
 		s.homeAlt[i] = s.topo.ReselectionNeighbor(s.topo.Tower(u.HomeTower).Loc, u.HomeTower)
 	}
+	s.awayNames, s.awayWeights = pandemic.RelocationDestinations()
 	return s
 }
 
@@ -82,22 +88,45 @@ func (s *Simulator) Scenario() *pandemic.Scenario { return s.scen }
 
 // Day simulates all native smartphone agents for one day and returns
 // their traces. The result is deterministic and independent of any other
-// day's simulation.
+// day's simulation. It is a convenience wrapper over DayInto with a
+// fresh buffer, so the result is safe to retain; hot loops should hold a
+// DayBuffer and call DayInto instead.
 func (s *Simulator) Day(day timegrid.SimDay) []DayTrace {
-	native := s.pop.Native()
-	out := make([]DayTrace, 0, len(native))
-	for _, id := range native {
-		out = append(out, s.UserDay(id, day))
-	}
-	return out
+	return s.DayInto(NewDayBuffer(), day)
 }
 
-// UserDay simulates a single agent-day.
-func (s *Simulator) UserDay(id popsim.UserID, day timegrid.SimDay) DayTrace {
-	u := s.pop.User(id)
-	src := rng.New(s.seed).Split2(uint64(id), uint64(day))
+// DayInto simulates all native smartphone agents for one day into buf,
+// reusing its arena and builder scratch: once buf has warmed to the
+// working size, a call performs no heap allocation. The returned traces
+// are bit-identical to Day's but alias buf — they are valid until buf's
+// next Reset or DayInto. Concurrent calls must use distinct buffers.
+func (s *Simulator) DayInto(buf *DayBuffer, day timegrid.SimDay) []DayTrace {
+	buf.Reset(day)
+	for _, id := range s.pop.Native() {
+		s.buildUserDay(&buf.b, id, day)
+		buf.b.flushTo(buf, id)
+	}
+	return buf.Traces()
+}
 
-	b := newDayBuilder(u, day, s)
+// UserDay simulates a single agent-day into a standalone trace.
+func (s *Simulator) UserDay(id popsim.UserID, day timegrid.SimDay) DayTrace {
+	var b dayBuilder
+	s.buildUserDay(&b, id, day)
+	t := DayTrace{User: id, Visits: make([]Visit, 0, b.visitCount())}
+	for bin := b.firstBin(); bin < timegrid.BinsPerDay; bin++ {
+		t.Visits = append(t.Visits, b.bins[bin]...)
+	}
+	return t
+}
+
+// buildUserDay simulates one agent-day into the builder scratch; the
+// visits stay staged per bin until flushTo (or UserDay) flattens them.
+func (s *Simulator) buildUserDay(b *dayBuilder, id popsim.UserID, day timegrid.SimDay) {
+	u := s.pop.User(id)
+	src := rng.Stream2(s.seed, uint64(id), uint64(day))
+
+	b.reset(u, day, s)
 	// Phones switched off overnight leave no night observations; the
 	// decision is drawn first so the rest of the day's stream is stable.
 	b.nightOff = src.Bool(u.NightOff)
@@ -107,8 +136,8 @@ func (s *Simulator) UserDay(id popsim.UserID, day timegrid.SimDay) DayTrace {
 	if u.Relocates && s.scen.RelocationActive(day) {
 		b.residenceTower = u.RelocTower
 		b.residenceDistrict = u.RelocDistrict
-		b.localDay(src, 0.5) // quiet, mostly-home day at the destination
-		return b.finish()
+		b.localDay(&src, 0.5) // quiet, mostly-home day at the destination
+		return
 	}
 
 	// Weekend away-days (day trips / weekends in other counties).
@@ -122,16 +151,18 @@ func (s *Simulator) UserDay(id popsim.UserID, day timegrid.SimDay) DayTrace {
 			p = s.scen.WeekendAwayProb(0, homeCounty) // February baseline
 		}
 		if src.Bool(p) {
-			b.awayDay(src, sd, inStudy)
-			return b.finish()
+			b.awayDay(&src, sd, inStudy)
+			return
 		}
 	}
 
-	b.normalDay(src, sd, inStudy)
-	return b.finish()
+	b.normalDay(&src, sd, inStudy)
 }
 
-// dayBuilder accumulates one agent-day.
+// dayBuilder accumulates one agent-day. It is pure scratch: reset
+// re-arms it for the next agent while the per-bin staging arrays and
+// weight buffers keep their capacity, so steady-state building performs
+// no allocation.
 type dayBuilder struct {
 	s    *Simulator
 	u    *popsim.User
@@ -144,16 +175,22 @@ type dayBuilder struct {
 	// nightOff suppresses all observations in the night bins (00-08):
 	// the device is powered off, so the probes see nothing.
 	nightOff bool
+
+	// weighted-choice scratch, reused across agents.
+	weights  []float64
+	counties []*census.County
 }
 
-func newDayBuilder(u *popsim.User, day timegrid.SimDay, s *Simulator) *dayBuilder {
-	return &dayBuilder{
-		s:                 s,
-		u:                 u,
-		day:               day,
-		residenceTower:    u.HomeTower,
-		residenceDistrict: u.HomeDistrict,
+// reset re-arms the builder for a new agent-day, keeping all capacity.
+func (b *dayBuilder) reset(u *popsim.User, day timegrid.SimDay, s *Simulator) {
+	b.s, b.u, b.day = s, u, day
+	for i := range b.bins {
+		b.bins[i] = b.bins[i][:0]
 	}
+	b.used = [timegrid.BinsPerDay]int32{}
+	b.residenceTower = u.HomeTower
+	b.residenceDistrict = u.HomeDistrict
+	b.nightOff = false
 }
 
 // add records dwell seconds at tower in bin, clipping to the bin budget.
@@ -188,24 +225,32 @@ func (b *dayBuilder) fillResidence(src *rng.Source) {
 	}
 }
 
-// finish flattens the per-bin visits into a DayTrace. Night-off days
+// firstBin returns the first observable bin of the day. Night-off days
 // drop the night bins entirely: an off device is invisible to the
 // network.
-func (b *dayBuilder) finish() DayTrace {
-	t := DayTrace{User: b.u.ID}
-	firstBin := 0
+func (b *dayBuilder) firstBin() int {
 	if b.nightOff {
-		firstBin = 2 // bins 0 and 1 cover 00:00-08:00
+		return 2 // bins 0 and 1 cover 00:00-08:00
 	}
+	return 0
+}
+
+// visitCount returns the number of observable visits staged.
+func (b *dayBuilder) visitCount() int {
 	n := 0
-	for bin := firstBin; bin < timegrid.BinsPerDay; bin++ {
+	for bin := b.firstBin(); bin < timegrid.BinsPerDay; bin++ {
 		n += len(b.bins[bin])
 	}
-	t.Visits = make([]Visit, 0, n)
-	for bin := firstBin; bin < timegrid.BinsPerDay; bin++ {
-		t.Visits = append(t.Visits, b.bins[bin]...)
+	return n
+}
+
+// flushTo flattens the staged bins into the buffer's arena as one trace,
+// in bin order — exactly the order finish() used to emit.
+func (b *dayBuilder) flushTo(buf *DayBuffer, id popsim.UserID) {
+	buf.BeginUser(id)
+	for bin := b.firstBin(); bin < timegrid.BinsPerDay; bin++ {
+		buf.visits = append(buf.visits, b.bins[bin]...)
 	}
-	return t
 }
 
 // activity returns the agent's out-of-home activity level for the day.
@@ -333,10 +378,17 @@ func (b *dayBuilder) normalDay(src *rng.Source, sd timegrid.StudyDay, inStudy bo
 	b.fillResidence(src)
 }
 
+// leisureBinWeights and localBinWeights are the static daytime-bin
+// preferences of discretionary and local trips; package-level so the hot
+// path never rebuilds them.
+var (
+	leisureBinWeights = [...]float64{0, 0, 1.0, 1.3, 1.4, 0.7}
+	localBinWeights   = [...]float64{0, 0, 1, 1.3, 1.2, 0.5}
+)
+
 // leisureTrip places one discretionary trip in a daytime bin.
 func (b *dayBuilder) leisureTrip(src *rng.Source, a float64, inStudy bool) {
-	binWeights := []float64{0, 0, 1.0, 1.3, 1.4, 0.7}
-	bin := timegrid.Bin(src.Pick(binWeights))
+	bin := timegrid.Bin(src.Pick(leisureBinWeights[:]))
 	b.leisureTripInBin(src, bin, a, inStudy)
 }
 
@@ -363,11 +415,11 @@ func (b *dayBuilder) leisureTripInBin(src *rng.Source, bin timegrid.Bin, a float
 		// Weighted anchor choice among discretionary anchors; distant
 		// anchors are suppressed under restrictions.
 		cands := u.Anchors[1:]
-		weights := make([]float64, len(cands))
+		weights := b.weights[:0]
 		homeLoc := b.s.topo.Tower(u.HomeTower).Loc
-		for i, anc := range cands {
+		for _, anc := range cands {
 			if anc.Kind == popsim.AnchorWork {
-				weights[i] = 0.1 // work is handled separately
+				weights = append(weights, 0.1) // work is handled separately
 				continue
 			}
 			w := anc.Weight
@@ -378,8 +430,9 @@ func (b *dayBuilder) leisureTripInBin(src *rng.Source, bin timegrid.Bin, a float
 					w *= 0.12
 				}
 			}
-			weights[i] = w
+			weights = append(weights, w)
 		}
+		b.weights = weights
 		tower = cands[src.Pick(weights)].Tower
 	}
 	dur := int32(src.IntRange(2400, 7200))
@@ -416,15 +469,16 @@ func (b *dayBuilder) pickAwayCounty(src *rng.Source, sd timegrid.StudyDay, inStu
 	model := b.s.model
 	homeKind := model.County(b.u.HomeCounty).Kind
 	if homeKind == census.KindMetroCore || homeKind == census.KindMetroSuburb {
-		names, weights := pandemic.RelocationDestinations()
-		w := make([]float64, len(weights))
-		for i := range weights {
+		names, base := b.s.awayNames, b.s.awayWeights
+		w := b.weights[:0]
+		for i := range base {
 			bias := 1.0
 			if inStudy {
 				bias = b.s.scen.ExodusDestinationBias(sd, names[i])
 			}
-			w[i] = weights[i] * bias
+			w = append(w, base[i]*bias)
 		}
+		b.weights = w
 		c, ok := model.CountyByName(names[src.Pick(w)])
 		if !ok {
 			return nil
@@ -434,8 +488,8 @@ func (b *dayBuilder) pickAwayCounty(src *rng.Source, sd timegrid.StudyDay, inStu
 	// Elsewhere: countryside within day-trip range, nearer is likelier.
 	const tripKm = 90.0
 	homeLoc := model.County(b.u.HomeCounty).Area.Center
-	var cands []*census.County
-	var weights []float64
+	cands := b.counties[:0]
+	weights := b.weights[:0]
 	for ci := range model.Counties {
 		c := &model.Counties[ci]
 		if c.ID == b.u.HomeCounty {
@@ -451,6 +505,7 @@ func (b *dayBuilder) pickAwayCounty(src *rng.Source, sd timegrid.StudyDay, inStu
 		cands = append(cands, c)
 		weights = append(weights, 1/(dist+10))
 	}
+	b.counties, b.weights = cands, weights
 	if len(cands) == 0 {
 		return nil
 	}
@@ -462,8 +517,7 @@ func (b *dayBuilder) pickAwayCounty(src *rng.Source, sd timegrid.StudyDay, inStu
 func (b *dayBuilder) localDay(src *rng.Source, tripLevel float64) {
 	trips := src.Poisson(0.8 * tripLevel)
 	for i := 0; i < trips; i++ {
-		binWeights := []float64{0, 0, 1, 1.3, 1.2, 0.5}
-		bin := timegrid.Bin(src.Pick(binWeights))
+		bin := timegrid.Bin(src.Pick(localBinWeights[:]))
 		t := b.s.topo.PickTower(b.residenceDistrict, b.day, src)
 		b.add(bin, t, int32(src.IntRange(2400, 6000)), false)
 	}

@@ -1,0 +1,66 @@
+// Package prof wires the standard runtime/pprof profiles into the
+// command-line binaries, so the hot paths (day simulation, KPI
+// generation, the analyzers) can be profiled on real hardware with the
+// usual `go tool pprof` workflow. See PERFORMANCE.md for the recipes.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns the stop
+// function that ends it and closes the file. An empty path is a no-op
+// (the returned stop still must be safe to call), so callers can wire a
+// flag through unconditionally.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// Run executes fn with the profile flags wired through: a CPU profile
+// covers fn's duration and a heap profile is written after it returns.
+// fn's own error wins — a heap-profile failure is only reported when fn
+// succeeded. Either path may be empty to skip that profile.
+func Run(cpuPath, memPath string, fn func() error) error {
+	stop, err := StartCPU(cpuPath)
+	if err != nil {
+		return err
+	}
+	runErr := fn()
+	stop()
+	if err := WriteHeap(memPath); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// WriteHeap dumps the heap profile to path after a final GC, which makes
+// the numbers reflect live memory rather than collection timing. An
+// empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
+}

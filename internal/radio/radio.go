@@ -244,14 +244,32 @@ func (t *Topology) ActiveTowersInDistrict(d census.DistrictID, day timegrid.SimD
 }
 
 // PickTower draws a site of the district, active on day, uniformly; it
-// falls back to any site of the district when none is active yet.
+// falls back to any site of the district when none is active yet. The
+// active set is counted rather than materialized, keeping the simulator
+// hot path allocation-free; the rng draw is the same single Intn the
+// materialized form used.
 func (t *Topology) PickTower(d census.DistrictID, day timegrid.SimDay, src *rng.Source) TowerID {
-	active := t.ActiveTowersInDistrict(d, day)
-	if len(active) == 0 {
-		all := t.towersByDistrict[d]
+	all := t.towersByDistrict[d]
+	active := 0
+	for _, id := range all {
+		if t.Towers[id].ActiveOn(day) {
+			active++
+		}
+	}
+	if active == 0 {
 		return all[src.Intn(len(all))]
 	}
-	return active[src.Intn(len(active))]
+	k := src.Intn(active)
+	for _, id := range all {
+		if t.Towers[id].ActiveOn(day) {
+			if k == 0 {
+				return id
+			}
+			k--
+		}
+	}
+	// Unreachable: k < active.
+	return all[0]
 }
 
 // NearestTower returns the site closest to a point, via the spatial

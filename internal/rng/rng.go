@@ -43,16 +43,29 @@ func (s *Source) Uint64() uint64 {
 func (s *Source) Split(key uint64) *Source {
 	// Mix the parent state with the key through one extra SplitMix64
 	// finalisation so that adjacent keys land far apart.
-	z := s.state ^ (key+1)*gamma
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return &Source{state: z ^ (z >> 31)}
+	return &Source{state: splitState(s.state, key)}
 }
 
 // Split2 derives an independent stream labelled by an (a, b) pair, e.g.
 // (userID, day).
 func (s *Source) Split2(a, b uint64) *Source {
 	return s.Split(a).Split(b)
+}
+
+// splitState is the state derivation behind Split, as a pure function.
+func splitState(state, key uint64) uint64 {
+	z := state ^ (key+1)*gamma
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Stream2 returns the (a, b)-labelled stream of seed as a value — the
+// sequence is identical to New(seed).Split2(a, b), but nothing escapes to
+// the heap, so per-entity stream setup in hot loops is allocation-free
+// (take the address of the returned value for the sampler methods).
+func Stream2(seed, a, b uint64) Source {
+	return Source{state: splitState(splitState(seed, a), b)}
 }
 
 // Float64 returns a uniform sample in [0, 1).

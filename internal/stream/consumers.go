@@ -26,14 +26,21 @@ type Mobility struct {
 	a       *core.MobilityAnalyzer
 	topo    *radio.Topology
 	topN    int
+	mergers []core.VisitMerger // one per shard: ShardDay calls run concurrently
 	traces  []mobsim.DayTrace
 	metrics []core.DayMetrics
 	inStudy bool
 }
 
-// NewMobility wraps an analyzer for sharded consumption.
-func NewMobility(a *core.MobilityAnalyzer) *Mobility {
-	return &Mobility{a: a, topo: a.Population().Topology(), topN: a.TopN()}
+// NewMobility wraps an analyzer for sharded consumption across the given
+// number of shards (the engine's Config.Shards after WithDefaults).
+func NewMobility(a *core.MobilityAnalyzer, shards int) *Mobility {
+	return &Mobility{
+		a:       a,
+		topo:    a.Population().Topology(),
+		topN:    a.TopN(),
+		mergers: make([]core.VisitMerger, shards),
+	}
 }
 
 // BeginDay sizes the per-day metric buffer.
@@ -50,13 +57,15 @@ func (m *Mobility) BeginDay(day timegrid.SimDay, traces []mobsim.DayTrace) {
 }
 
 // ShardDay computes the metrics of the shard's users. Writes land on
-// disjoint indices of the shared buffer, so shards never contend.
-func (m *Mobility) ShardDay(_ int, _ timegrid.SimDay, traces []mobsim.DayTrace, idx []int) {
+// disjoint indices of the shared buffer, so shards never contend; each
+// shard reuses its own merge scratch.
+func (m *Mobility) ShardDay(shard int, _ timegrid.SimDay, traces []mobsim.DayTrace, idx []int) {
 	if !m.inStudy {
 		return
 	}
+	mg := &m.mergers[shard]
 	for _, i := range idx {
-		m.metrics[i] = core.ComputeDayMetrics(&traces[i], m.topo, m.topN)
+		m.metrics[i] = mg.DayMetrics(&traces[i], m.topo, m.topN)
 	}
 }
 
@@ -76,16 +85,22 @@ func (m *Mobility) EndDay(day timegrid.SimDay) {
 // increments.
 type Matrix struct {
 	m        *core.MobilityMatrix
+	mergers  []core.VisitMerger // one per shard: ShardDay calls run concurrently
 	inCohort []bool
 	counties [][]census.CountyID
 	sd       timegrid.StudyDay
 	inStudy  bool
 }
 
-// NewMatrix wraps a matrix for sharded consumption.
-func NewMatrix(m *core.MobilityMatrix) *Matrix { return &Matrix{m: m} }
+// NewMatrix wraps a matrix for sharded consumption across the given
+// number of shards (the engine's Config.Shards after WithDefaults).
+func NewMatrix(m *core.MobilityMatrix, shards int) *Matrix {
+	return &Matrix{m: m, mergers: make([]core.VisitMerger, shards)}
+}
 
-// BeginDay sizes and clears the per-day buffers.
+// BeginDay sizes and clears the per-day buffers. The per-index county
+// slices keep their capacity across days (index i always belongs to the
+// same user), so steady-state days append without allocating.
 func (x *Matrix) BeginDay(day timegrid.SimDay, traces []mobsim.DayTrace) {
 	x.sd, x.inStudy = day.ToStudyDay()
 	if !x.inStudy {
@@ -100,20 +115,20 @@ func (x *Matrix) BeginDay(day timegrid.SimDay, traces []mobsim.DayTrace) {
 	x.counties = x.counties[:n]
 	for i := 0; i < n; i++ {
 		x.inCohort[i] = false
-		x.counties[i] = nil
 	}
 }
 
-// ShardDay resolves the county sets of the shard's cohort members.
-func (x *Matrix) ShardDay(_ int, _ timegrid.SimDay, traces []mobsim.DayTrace, idx []int) {
+// ShardDay resolves the county sets of the shard's cohort members, each
+// shard reusing its own merge scratch and the per-index county storage.
+func (x *Matrix) ShardDay(shard int, _ timegrid.SimDay, traces []mobsim.DayTrace, idx []int) {
 	if !x.inStudy {
 		return
 	}
+	mg := &x.mergers[shard]
 	for _, i := range idx {
-		if cs, ok := x.m.UserCounties(&traces[i]); ok {
-			x.inCohort[i] = true
-			x.counties[i] = cs
-		}
+		cs, ok := x.m.UserCountiesInto(mg, &traces[i], x.counties[i][:0])
+		x.counties[i] = cs
+		x.inCohort[i] = ok
 	}
 }
 

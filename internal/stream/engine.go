@@ -151,6 +151,9 @@ func ShardOfCell(c uint64, s int) int { return int(rng.Hash64(c^0xCE11CE11) % ui
 
 // Run pulls day batches from the source until io.EOF, fanning each day
 // out across the shard workers and merging before the next day starts.
+// After a day's merge stage the batch is released back to its source
+// (DayBatch.Release), so consumers must copy anything they keep — see
+// the buffer-ownership rules in README.md.
 func (e *Engine) Run(src Source) error {
 	for {
 		b, err := src.Next()
@@ -161,6 +164,7 @@ func (e *Engine) Run(src Source) error {
 			return err
 		}
 		e.runDay(&b)
+		b.Release()
 	}
 }
 

@@ -24,14 +24,21 @@ type MobilityDay struct {
 type RollingMobility struct {
 	topo *radio.Topology
 	topN int
-	// per shard: sum entropy, sum gyration, users.
-	sums [][3]float64
-	days []MobilityDay
+	// per shard: sum entropy, sum gyration, users — and a merge scratch,
+	// since ShardDay calls run concurrently.
+	sums    [][3]float64
+	mergers []core.VisitMerger
+	days    []MobilityDay
 }
 
 // NewRollingMobility builds the rolling stage.
 func NewRollingMobility(topo *radio.Topology, topN, shards int) *RollingMobility {
-	return &RollingMobility{topo: topo, topN: topN, sums: make([][3]float64, shards)}
+	return &RollingMobility{
+		topo:    topo,
+		topN:    topN,
+		sums:    make([][3]float64, shards),
+		mergers: make([]core.VisitMerger, shards),
+	}
 }
 
 // BeginDay clears the shard partials.
@@ -44,8 +51,9 @@ func (r *RollingMobility) BeginDay(timegrid.SimDay, []mobsim.DayTrace) {
 // ShardDay accumulates the shard's user metrics.
 func (r *RollingMobility) ShardDay(shard int, _ timegrid.SimDay, traces []mobsim.DayTrace, idx []int) {
 	s := &r.sums[shard]
+	mg := &r.mergers[shard]
 	for _, i := range idx {
-		m := core.ComputeDayMetrics(&traces[i], r.topo, r.topN)
+		m := mg.DayMetrics(&traces[i], r.topo, r.topN)
 		s[0] += m.Entropy
 		s[1] += m.Gyration
 		s[2]++

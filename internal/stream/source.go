@@ -17,6 +17,23 @@ type DayBatch struct {
 	Traces []mobsim.DayTrace
 	Cells  []traffic.CellDay
 	Events []signaling.Event
+
+	// Recycle, when non-nil, returns the batch's backing buffers to the
+	// source that produced it for reuse. Sources set it; everyone else
+	// calls Release. After the hook runs, Traces/Cells/Events may be
+	// overwritten by a later day at any time.
+	Recycle func()
+}
+
+// Release hands the batch's buffers back to their source, exactly once;
+// it is a no-op for batches without a recycle hook. The engine calls it
+// after the merge stage of each day, so consumers must not retain the
+// batch's slices past EndDay/ConsumeDay — copy anything they keep.
+func (b *DayBatch) Release() {
+	if f := b.Recycle; f != nil {
+		b.Recycle = nil
+		f()
+	}
 }
 
 // Source delivers day batches in ascending day order; Next returns
@@ -35,9 +52,28 @@ type Source interface {
 // Backpressure: at most workers+buffer days are claimed but not yet
 // returned by Next, so memory stays bounded no matter how far the
 // consumer falls behind.
+//
+// Buffer recycling: each batch is produced into a pooled backing store
+// (a mobsim.DayBuffer plus a CellDay slice) drawn from a bounded free
+// list. A consumer that calls DayBatch.Release when done (the stream
+// engine does, after each day's merge stage) keeps the whole run at
+// O(workers+buffer) live day buffers; a consumer that never releases
+// merely falls back to one allocation set per day, as before.
 type SimSource struct {
 	out  chan DayBatch
 	done chan struct{}
+}
+
+// simDayRes is one recyclable backing store for a produced day.
+type simDayRes struct {
+	buf   *mobsim.DayBuffer
+	cells []traffic.CellDay
+	// out is true while the store is checked out of the free list; the
+	// recycle hook swaps it back, so releasing a batch twice (e.g. via
+	// two copies of the DayBatch value) can never enqueue the store
+	// twice and hand one buffer to two workers.
+	out     atomic.Bool
+	recycle func() // returns the store to the source's free list
 }
 
 // NewSimSource streams days [first, limit). A nil engine skips KPI
@@ -82,11 +118,43 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 	results := make(chan DayBatch)
 	var next int64 = int64(first)
 
-	for w := 0; w < cfg.Workers; w++ {
-		worker := eng
-		if eng != nil && w > 0 {
-			worker = eng.Clone()
+	// free is the bounded recycle list. Draws never block: when the
+	// consumer holds every pooled store (or never releases), workers
+	// allocate a fresh one, so liveness cannot depend on Release being
+	// called. Returns past capacity are dropped to the GC.
+	free := make(chan *simDayRes, window)
+	getRes := func() *simDayRes {
+		select {
+		case r := <-free:
+			r.out.Store(true)
+			return r
+		default:
 		}
+		r := &simDayRes{buf: mobsim.NewDayBuffer()}
+		r.recycle = func() {
+			if !r.out.CompareAndSwap(true, false) {
+				return // already recycled via another batch copy
+			}
+			select {
+			case free <- r:
+			default:
+			}
+		}
+		r.out.Store(true)
+		return r
+	}
+
+	// Clone the per-worker engines before any worker starts: Clone
+	// snapshots the engine struct, which races with the scratch writes
+	// of a DayAppend already running on the original.
+	engines := make([]*traffic.Engine, cfg.Workers)
+	for w := range engines {
+		engines[w] = eng
+		if eng != nil && w > 0 {
+			engines[w] = eng.Clone()
+		}
+	}
+	for w := 0; w < cfg.Workers; w++ {
 		go func(eng *traffic.Engine) {
 			for {
 				select {
@@ -99,9 +167,11 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 					<-sem
 					return
 				}
-				b := DayBatch{Day: day, Traces: sim.Day(day)}
+				res := getRes()
+				b := DayBatch{Day: day, Traces: sim.DayInto(res.buf, day), Recycle: res.recycle}
 				if eng != nil {
-					b.Cells = eng.Day(day, b.Traces)
+					res.cells = eng.DayAppend(res.cells[:0], day, b.Traces)
+					b.Cells = res.cells
 				}
 				select {
 				case results <- b:
@@ -109,7 +179,7 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 					return
 				}
 			}
-		}(worker)
+		}(engines[w])
 	}
 
 	// Sequencer: emit in day order.

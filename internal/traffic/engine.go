@@ -49,6 +49,17 @@ type Engine struct {
 
 	// scratch, reused across days: [tower][hour]
 	acc [][timegrid.HoursPerDay]towerHour
+	// hv stages the 24 hourly values of each metric while one cell's
+	// records are reduced to their daily medians; weights stages the
+	// per-tower sector load split. Both are warm after the first day, so
+	// DayAppend runs allocation-free.
+	hv      [NumMetrics][]float64
+	weights []float64
+	// ch is the record handed to emit callbacks; it lives on the engine
+	// because its address crosses the callback boundary, which would
+	// otherwise force a heap escape per day. Callbacks already must copy
+	// what they keep — the record is rewritten every cell-hour.
+	ch CellHour
 }
 
 // NewEngine builds the KPI engine.
@@ -79,10 +90,14 @@ func (e *Engine) Params() Params { return e.params }
 // independent scratch area. Day is deterministic in (construction, day,
 // traces) and never mutates anything but the scratch, so clones produce
 // bit-identical records to the original and may run concurrently, one
-// per worker.
+// per worker. Clone snapshots the engine struct — including the scratch
+// headers Day/DayAppend rewrite — so it must not run concurrently with
+// a Day on the receiver: take every clone before starting the workers.
 func (e *Engine) Clone() *Engine {
 	c := *e
 	c.acc = make([][timegrid.HoursPerDay]towerHour, len(e.acc))
+	c.hv = [NumMetrics][]float64{}
+	c.weights = nil
 	return &c
 }
 
@@ -109,12 +124,21 @@ type CellHour struct {
 // Day runs the KPI model for one simulated day over the given traces and
 // returns one record per active 4G cell: for each metric the median of
 // its 24 hourly values. Deterministic in (engine construction, day,
-// traces).
+// traces). It allocates a fresh result per call; hot loops should call
+// DayAppend with a reused destination.
 func (e *Engine) Day(day timegrid.SimDay, traces []mobsim.DayTrace) []CellDay {
-	out := make([]CellDay, 0, len(e.topo.Cells4G()))
-	var hv [NumMetrics][]float64
-	for m := range hv {
-		hv[m] = make([]float64, 0, timegrid.HoursPerDay)
+	return e.DayAppend(make([]CellDay, 0, len(e.topo.Cells4G())), day, traces)
+}
+
+// DayAppend is Day appending into dst (pass prev[:0] to reuse capacity).
+// The hourly staging buffers live on the engine and the medians are
+// taken by sorting them in place, so a warm engine produces a day of
+// records without heap allocation. Records are bit-identical to Day's.
+func (e *Engine) DayAppend(dst []CellDay, day timegrid.SimDay, traces []mobsim.DayTrace) []CellDay {
+	if e.hv[0] == nil {
+		for m := range e.hv {
+			e.hv[m] = make([]float64, 0, timegrid.HoursPerDay)
+		}
 	}
 	var cur radio.CellID = -1
 	flush := func() {
@@ -124,27 +148,27 @@ func (e *Engine) Day(day timegrid.SimDay, traces []mobsim.DayTrace) []CellDay {
 		var cd CellDay
 		cd.Cell = cur
 		for m := 0; m < NumMetrics; m++ {
-			cd.Values[m] = medianOf(hv[m])
+			cd.Values[m] = medianInPlace(e.hv[m])
 		}
-		out = append(out, cd)
+		dst = append(dst, cd)
 	}
 	e.forEachCellHour(day, traces, func(ch *CellHour) {
 		if ch.Cell != cur {
 			flush()
 			cur = ch.Cell
-			for m := range hv {
-				hv[m] = hv[m][:0]
+			for m := range e.hv {
+				e.hv[m] = e.hv[m][:0]
 			}
 		}
 		for m := 0; m < NumMetrics; m++ {
 			if m == int(DLThroughput) && ch.Values[m] == 0 {
 				continue // hour without active users: throughput undefined
 			}
-			hv[m] = append(hv[m], ch.Values[m])
+			e.hv[m] = append(e.hv[m], ch.Values[m])
 		}
 	})
 	flush()
-	return out
+	return dst
 }
 
 // DayHourly runs the KPI model at hourly resolution, emitting one record
@@ -179,10 +203,9 @@ func (e *Engine) forEachCellHour(day timegrid.SimDay, traces []mobsim.DayTrace, 
 		e.acc[i] = [timegrid.HoursPerDay]towerHour{}
 	}
 
-	base := rng.New(e.seed)
 	for i := range traces {
 		t := &traces[i]
-		usrc := base.Split2(uint64(t.User), uint64(day))
+		usrc := rng.Stream2(e.seed, uint64(t.User), uint64(day))
 		// Per-user-day appetite dispersion.
 		quirk := 0.70 + 0.60*usrc.Float64()
 		dlPerDay := p.DLPerUserDayMB * dataF * quirk
@@ -251,7 +274,7 @@ func (e *Engine) forEachCellHour(day timegrid.SimDay, traces []mobsim.DayTrace, 
 
 	// Per-cell-hour KPI computation.
 	const baselineLoadNorm = 0.35
-	var ch CellHour
+	ch := &e.ch
 
 	for ti := range e.topo.Towers {
 		tower := &e.topo.Towers[ti]
@@ -263,17 +286,19 @@ func (e *Engine) forEachCellHour(day timegrid.SimDay, traces []mobsim.DayTrace, 
 			continue
 		}
 		// Per-cell-day load split weights: uneven sector loading.
-		weights := make([]float64, len(cells))
+		weights := e.weights[:0]
 		var wsum float64
-		for ci, cid := range cells {
-			w := 0.75 + 0.5*base.Split2(uint64(cid), uint64(day)).Float64()
-			weights[ci] = w
+		for _, cid := range cells {
+			wsrc := rng.Stream2(e.seed, uint64(cid), uint64(day))
+			w := 0.75 + 0.5*wsrc.Float64()
+			weights = append(weights, w)
 			wsum += w
 		}
+		e.weights = weights
 
 		for ci, cid := range cells {
 			share := weights[ci] / wsum
-			csrc := base.Split2(uint64(cid)^0xCE11, uint64(day))
+			csrc := rng.Stream2(e.seed, uint64(cid)^0xCE11, uint64(day))
 			thrJitter := 0.92 + 0.16*csrc.Float64()
 
 			for h := 0; h < timegrid.HoursPerDay; h++ {
@@ -306,23 +331,23 @@ func (e *Engine) forEachCellHour(day timegrid.SimDay, traces []mobsim.DayTrace, 
 				if active > 0.01 {
 					ch.Values[DLThroughput] = p.BaseThroughputMbps * throttleF * thrJitter * (1 - p.CongestionK*load*load)
 				}
-				emit(&ch)
+				emit(ch)
 			}
 		}
 	}
 }
 
-// medianOf returns the median of xs without retaining the input; it
-// sorts a scratch copy in place (xs is reused by the caller).
-func medianOf(xs []float64) float64 {
+// medianInPlace returns the median of xs, sorting it in place — the
+// caller's staging buffer is reset before its next fill, so no copy is
+// needed.
+func medianInPlace(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
-	n := len(cp)
+	sort.Float64s(xs)
+	n := len(xs)
 	if n%2 == 1 {
-		return cp[n/2]
+		return xs[n/2]
 	}
-	return (cp[n/2-1] + cp[n/2]) / 2
+	return (xs[n/2-1] + xs[n/2]) / 2
 }

@@ -259,21 +259,15 @@ func TestPeakVoiceHourShare(t *testing.T) {
 	}
 }
 
-func TestMedianOf(t *testing.T) {
-	if got := medianOf(nil); got != 0 {
-		t.Errorf("medianOf(nil) = %v", got)
+func TestMedianInPlace(t *testing.T) {
+	if got := medianInPlace(nil); got != 0 {
+		t.Errorf("medianInPlace(nil) = %v", got)
 	}
-	if got := medianOf([]float64{3, 1, 2}); got != 2 {
+	if got := medianInPlace([]float64{3, 1, 2}); got != 2 {
 		t.Errorf("odd median = %v", got)
 	}
-	if got := medianOf([]float64{4, 1, 2, 3}); got != 2.5 {
+	if got := medianInPlace([]float64{4, 1, 2, 3}); got != 2.5 {
 		t.Errorf("even median = %v", got)
-	}
-	// Must not mutate its input.
-	in := []float64{3, 1, 2}
-	medianOf(in)
-	if in[0] != 3 {
-		t.Error("medianOf mutated input")
 	}
 }
 
@@ -335,7 +329,7 @@ func TestDayHourlyConsistentWithDay(t *testing.T) {
 		}
 		a := perCell[cd.Cell]
 		for m := 0; m < NumMetrics; m++ {
-			if got, want := cd.Values[m], medianOf(a.vals[m]); got != want {
+			if got, want := cd.Values[m], medianInPlace(a.vals[m]); got != want {
 				t.Fatalf("cell %d metric %v: daily %v vs hourly-median %v", cd.Cell, Metric(m), got, want)
 			}
 		}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path benchmark suite and emit a JSON snapshot
+# (BENCH_<sha>.json) of ns/op, B/op and allocs/op per benchmark, so the
+# perf trajectory across PRs can be compared from saved artifacts.
+#
+# Usage:
+#   scripts/bench.sh [output-dir]          # default output-dir: repo root
+#   BENCHTIME=5x scripts/bench.sh          # longer runs for stable numbers
+#   BENCH='SimDay' scripts/bench.sh        # restrict the benchmark set
+#
+# The default set covers the per-day hot path (simulation, KPI engine,
+# §2.3 metrics) and the end-to-end serial/streaming pipelines.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out_dir="${1:-.}"
+sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)
+# Label snapshots of an uncommitted tree honestly: numbers measured on a
+# dirty checkout must not be attributed to the clean HEAD commit.
+if [ "$sha" != nogit ] && ! git diff --quiet HEAD 2>/dev/null; then
+  sha="${sha}-dirty"
+fi
+benchtime="${BENCHTIME:-1x}"
+pattern="${BENCH:-SimDayInto|SimulateDay|EngineDay|DayMetrics|MergeVisits|RunStandardSerial|StreamWorkers1\$}"
+
+raw=$(go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem .)
+printf '%s\n' "$raw" >&2
+
+out="$out_dir/BENCH_${sha}.json"
+{
+  printf '{\n'
+  printf '  "sha": "%s",\n' "$sha"
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "results": [\n'
+  printf '%s\n' "$raw" | awk '
+    /^Benchmark/ {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      ns = "null"; bop = "null"; aop = "null"
+      for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns  = $(i-1)
+        if ($i == "B/op")      bop = $(i-1)
+        if ($i == "allocs/op") aop = $(i-1)
+      }
+      lines[n++] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, ns, bop, aop)
+    }
+    END { for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") }
+  '
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+echo "wrote $out" >&2
