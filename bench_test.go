@@ -20,7 +20,6 @@ import (
 	"repro/internal/feeds"
 	"repro/internal/geo"
 	"repro/internal/mobsim"
-	"repro/internal/pandemic"
 	"repro/internal/popsim"
 	"repro/internal/radio"
 	"repro/internal/rng"
@@ -406,10 +405,9 @@ func BenchmarkMergeVisits(b *testing.B) {
 func BenchmarkPopulationSynthesis(b *testing.B) {
 	m := census.BuildUK(1)
 	topo := radio.Build(m, radio.DefaultConfig(), 1)
-	scen := pandemic.Default()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		popsim.Synthesize(m, topo, scen, popsim.Config{Seed: uint64(i), TargetUsers: 2000})
+		popsim.Synthesize(m, topo, popsim.Config{Seed: uint64(i), TargetUsers: 2000})
 	}
 }
 

@@ -1,11 +1,16 @@
 // Command ablate runs the design-choice ablations called out in
 // DESIGN.md §5 and prints how each knob moves the headline results:
 //
-//   - scenario: default COVID scenario vs the no-pandemic null
+//   - scenario: registry timelines (default-covid, no-pandemic,
+//     early-lockdown) compared on the sweep runner
 //   - interconnect: headroom sweep for the voice-loss incident
 //   - topn: the per-user tower filter (5/10/20/∞)
 //   - nights: the home-detection minimum-nights rule
 //   - offload: the WiFi-offload depth driving the DL volume drop
+//
+// Every ablation shares one World (census + topology + population,
+// built once); each then instantiates whatever per-scenario or
+// per-parameter stack it needs on top.
 //
 // Usage:
 //
@@ -21,8 +26,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mobsim"
-	"repro/internal/pandemic"
+	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/timegrid"
 	"repro/internal/traffic"
 )
@@ -35,10 +41,15 @@ func main() {
 	)
 	flag.Parse()
 
-	run := func(name string, fn func(int, uint64)) {
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = *users
+	cfg.Seed = *seed
+	world := experiments.NewWorld(cfg)
+
+	run := func(name string, fn func(*experiments.World)) {
 		if *which == "all" || strings.EqualFold(*which, name) {
 			fmt.Printf("=== ablation: %s ===\n", name)
-			fn(*users, *seed)
+			fn(world)
 			fmt.Println()
 		}
 	}
@@ -49,42 +60,39 @@ func main() {
 	run("offload", ablateOffload)
 }
 
-// gyrTrough runs a mobility-only pipeline and returns the weekly
-// gyration trough (Δ% vs week 9).
-func gyrTrough(users int, seed uint64, scen *pandemic.Scenario) float64 {
+// ablateScenario compares counterfactual timelines on the sweep runner:
+// the shared world, each scenario streamed through the engine, and the
+// headline statistics extracted by experiments.Headlines instead of
+// hand-rolled series math.
+func ablateScenario(w *experiments.World) {
 	cfg := experiments.DefaultConfig()
-	cfg.TargetUsers = users
-	cfg.Seed = seed
-	cfg.Scenario = scen
 	cfg.SkipKPI = true
-	r := experiments.RunStandard(cfg)
-	s := r.Mobility.NationalSeries(core.MetricGyration)
-	w := core.DeltaSeries(s, stats.Mean(s.Values[:7])).WeeklyMeans()
-	min, _ := w.Min()
-	return min
-}
-
-func ablateScenario(users int, seed uint64) {
-	fmt.Printf("  %-22s gyration trough %+.1f%%\n", "default COVID scenario", gyrTrough(users, seed, nil))
-	fmt.Printf("  %-22s gyration trough %+.1f%%\n", "no-pandemic null", gyrTrough(users, seed, pandemic.NoPandemic()))
-	early, err := pandemic.NewBuilder().
-		Activity(0, 1).
-		Activity(7, 0.5). // a lockdown two weeks earlier
-		Activity(21, 0.42).
-		Activity(76, 0.48).
-		Build()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return
+	var scens []experiments.SweepScenario
+	for _, name := range []string{scenario.DefaultCovid, scenario.NoPandemic, scenario.EarlyLockdown} {
+		s, err := scenario.Load(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		scens = append(scens, experiments.SweepScenario{Name: name, Scenario: s})
 	}
-	fmt.Printf("  %-22s gyration trough %+.1f%%\n", "lockdown 2 weeks early", gyrTrough(users, seed, early))
+	for _, run := range experiments.RunSweep(w, cfg, stream.Config{}, scens) {
+		for _, h := range run.Headlines {
+			if h.Name == "gyration trough Δ%" {
+				fmt.Printf("  %-22s gyration trough %+.1f%%\n", run.Name, h.Value)
+			}
+		}
+	}
 }
 
-func ablateInterconnect(users int, seed uint64) {
-	cfg := experiments.DefaultConfig()
-	cfg.TargetUsers = users
-	cfg.Seed = seed
-	d := experiments.NewDataset(cfg)
+// mobilityStack instantiates the default scenario without the traffic
+// engine, for ablations that only need traces.
+func mobilityStack(w *experiments.World) *experiments.Dataset {
+	return w.Instantiate(experiments.Config{SkipKPI: true})
+}
+
+func ablateInterconnect(w *experiments.World) {
+	d := mobilityStack(w)
 	day := timegrid.StudyDay(17).ToSimDay() // mid week 11 surge
 	traces := d.Sim.Day(day)
 	baseDay := timegrid.StudyDay(2).ToSimDay()
@@ -92,7 +100,7 @@ func ablateInterconnect(users int, seed uint64) {
 	for _, headroom := range []float64{0.9, 1.0, 1.2, 1.5, 2.0, 3.0} {
 		params := traffic.DefaultParams()
 		params.InterconnectHeadroom = headroom
-		eng := traffic.NewEngine(d.Pop, d.Scenario, params, cfg.Seed)
+		eng := traffic.NewEngine(d.Pop, d.Scenario, params, d.Config.Seed)
 		base := meanLoss(eng.Day(baseDay, baseTraces))
 		surge := meanLoss(eng.Day(day, traces))
 		fmt.Printf("  headroom %.1f×: DL voice loss %+.0f%% vs baseline\n",
@@ -108,11 +116,8 @@ func meanLoss(cells []traffic.CellDay) float64 {
 	return s / float64(len(cells))
 }
 
-func ablateTopN(users int, seed uint64) {
-	cfg := experiments.DefaultConfig()
-	cfg.TargetUsers = users
-	cfg.Seed = seed
-	d := experiments.NewDataset(cfg)
+func ablateTopN(w *experiments.World) {
+	d := mobilityStack(w)
 	day := timegrid.StudyDay(2).ToSimDay()
 	traces := d.Sim.Day(day)
 	for _, n := range []int{5, 10, 20, 0} {
@@ -130,11 +135,8 @@ func ablateTopN(users int, seed uint64) {
 	}
 }
 
-func ablateNights(users int, seed uint64) {
-	cfg := experiments.DefaultConfig()
-	cfg.TargetUsers = users
-	cfg.Seed = seed
-	d := experiments.NewDataset(cfg)
+func ablateNights(w *experiments.World) {
+	d := mobilityStack(w)
 	// One February of traces, reused across thresholds.
 	cached := cacheFebruary(d)
 	for _, nights := range []int{7, 14, 21, 28} {
@@ -163,11 +165,8 @@ func cacheFebruary(d *experiments.Dataset) map[timegrid.SimDay][]mobsim.DayTrace
 	return out
 }
 
-func ablateOffload(users int, seed uint64) {
-	cfg := experiments.DefaultConfig()
-	cfg.TargetUsers = users
-	cfg.Seed = seed
-	d := experiments.NewDataset(cfg)
+func ablateOffload(w *experiments.World) {
+	d := mobilityStack(w)
 	baseDay := timegrid.StudyDay(2).ToSimDay()
 	lockDay := timegrid.StudyDay(38).ToSimDay()
 	baseTraces := d.Sim.Day(baseDay)
@@ -175,7 +174,7 @@ func ablateOffload(users int, seed uint64) {
 	for _, share := range []float64{0.35, 0.52, 0.70, 0.90} {
 		params := traffic.DefaultParams()
 		params.HomeCellularShare = share
-		eng := traffic.NewEngine(d.Pop, d.Scenario, params, cfg.Seed)
+		eng := traffic.NewEngine(d.Pop, d.Scenario, params, d.Config.Seed)
 		base := sumDL(eng.Day(baseDay, baseTraces))
 		lock := sumDL(eng.Day(lockDay, lockTraces))
 		fmt.Printf("  home cellular share %.2f: lockdown DL volume %+.0f%% vs baseline\n",

@@ -11,9 +11,14 @@
 // cmd/mnostream consumes: traces.csv (full window), kpi.csv (full
 // window) and events.csv (one sample day).
 //
+// The behavioural scenario defaults to the calibrated COVID timeline;
+// -scenario selects a registry built-in (see `mnosweep -list`) or a
+// JSON spec file in the SCENARIOS.md schema.
+//
 // Usage:
 //
-//	mnosim -out ./data [-users N] [-seed S] [-raw] [-cpuprofile F] [-memprofile F]
+//	mnosim -out ./data [-users N] [-seed S] [-scenario NAME|FILE.json] [-raw]
+//	       [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"repro/internal/feeds"
 	"repro/internal/mobsim"
 	"repro/internal/prof"
+	"repro/internal/scenario"
 	"repro/internal/signaling"
 	"repro/internal/stats"
 	"repro/internal/timegrid"
@@ -42,6 +48,7 @@ func main() {
 		out        = flag.String("out", "data", "output directory")
 		users      = flag.Int("users", 8000, "synthetic native smartphone users")
 		seed       = flag.Uint64("seed", 42, "master random seed")
+		scen       = flag.String("scenario", "", "behavioural scenario: registry name or JSON spec file (empty: the calibrated default)")
 		raw        = flag.Bool("raw", false, "also export raw per-visit traces and a sample signalling feed (large)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -49,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	err := prof.Run(*cpuProfile, *memProfile, func() error {
-		return run(*out, *users, *seed, *raw)
+		return run(*out, *users, *seed, *scen, *raw)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnosim:", err)
@@ -57,7 +64,7 @@ func main() {
 	}
 }
 
-func run(out string, users int, seed uint64, raw bool) error {
+func run(out string, users int, seed uint64, scenName string, raw bool) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -65,6 +72,13 @@ func run(out string, users int, seed uint64, raw bool) error {
 	cfg := experiments.DefaultConfig()
 	cfg.TargetUsers = users
 	cfg.Seed = seed
+	if scenName != "" {
+		s, err := scenario.Load(scenName)
+		if err != nil {
+			return err
+		}
+		cfg.Scenario = s
+	}
 	r := experiments.RunStandard(cfg)
 	fmt.Fprintf(os.Stderr, "simulation done in %v\n", time.Since(start).Round(time.Millisecond))
 
@@ -84,7 +98,7 @@ func run(out string, users int, seed uint64, raw bool) error {
 		return err
 	}
 	if raw {
-		if err := writeRaw(out, r); err != nil {
+		if err := writeRaw(out, r, scenName); err != nil {
 			return err
 		}
 	}
@@ -97,8 +111,8 @@ func run(out string, users int, seed uint64, raw bool) error {
 // the feeds package's formats — the directory layout cmd/mnostream
 // replays (feeds.OpenDir), so analyses can be re-run without
 // re-simulating.
-func writeRaw(out string, r *experiments.Results) error {
-	meta := feeds.Meta{Users: r.Dataset.Config.TargetUsers, Seed: r.Dataset.Config.Seed}
+func writeRaw(out string, r *experiments.Results, scenName string) error {
+	meta := feeds.Meta{Users: r.Dataset.Config.TargetUsers, Seed: r.Dataset.Config.Seed, Scenario: scenName}
 	if err := feeds.WriteMeta(out, meta); err != nil {
 		return err
 	}

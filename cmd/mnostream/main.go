@@ -22,10 +22,15 @@
 // experiments.RunStreaming is bit-identical to the serial pipeline at
 // any of these settings.
 //
+// In inline mode -scenario selects the behavioural scenario (a registry
+// name — see `mnosweep -list` — or a JSON spec file). In -feeds mode the
+// scenario is already baked into the replayed traces, so the flag is
+// rejected; the feed's own scenario is recorded in its meta sidecar.
+//
 // Usage:
 //
-//	mnostream [-feeds DIR] [-users N] [-seed S] [-workers W] [-shards K] [-days D]
-//	          [-cpuprofile F] [-memprofile F]
+//	mnostream [-feeds DIR] [-users N] [-seed S] [-scenario NAME|FILE.json]
+//	          [-workers W] [-shards K] [-days D] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"repro/internal/feeds"
 	"repro/internal/mobsim"
 	"repro/internal/prof"
+	"repro/internal/scenario"
 	"repro/internal/signaling"
 	"repro/internal/stream"
 	"repro/internal/timegrid"
@@ -49,6 +55,7 @@ func main() {
 		feedDir    = flag.String("feeds", "", "feed directory to replay (empty: run the simulator inline)")
 		users      = flag.Int("users", 8000, "synthetic native smartphone users (must match the feed's value in -feeds mode)")
 		seed       = flag.Uint64("seed", 42, "master random seed (must match the feed's value in -feeds mode)")
+		scen       = flag.String("scenario", "", "behavioural scenario for inline mode: registry name or JSON spec file (empty: the calibrated default)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0: GOMAXPROCS)")
 		shards     = flag.Int("shards", 0, "logical shards (0: default)")
 		days       = flag.Int("days", timegrid.SimDays, "days to stream in inline mode")
@@ -59,7 +66,7 @@ func main() {
 	flag.Parse()
 
 	err := prof.Run(*cpuProfile, *memProfile, func() error {
-		return run(*feedDir, *users, *seed, *workers, *shards, *days, !*noSig)
+		return run(*feedDir, *users, *seed, *scen, *workers, *shards, *days, !*noSig)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnostream:", err)
@@ -67,7 +74,7 @@ func main() {
 	}
 }
 
-func run(feedDir string, users int, seed uint64, workers, shards, days int, withSignaling bool) error {
+func run(feedDir string, users int, seed uint64, scenName string, workers, shards, days int, withSignaling bool) error {
 	scfg := stream.Config{Workers: workers, Shards: shards}.WithDefaults()
 
 	cfg := experiments.DefaultConfig()
@@ -75,6 +82,15 @@ func run(feedDir string, users int, seed uint64, workers, shards, days int, with
 	cfg.Seed = seed
 	if feedDir != "" {
 		cfg.SkipKPI = true // KPI records come from the feed, if at all
+		if scenName != "" {
+			return fmt.Errorf("-scenario only applies to inline mode; the feed in %s was generated under its own scenario", feedDir)
+		}
+	} else if scenName != "" {
+		s, err := scenario.Load(scenName)
+		if err != nil {
+			return err
+		}
+		cfg.Scenario = s
 	}
 	d := experiments.NewDataset(cfg)
 

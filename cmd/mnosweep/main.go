@@ -1,0 +1,123 @@
+// Command mnosweep runs several behavioural scenarios over one shared
+// world — the census model, radio topology and synthesized population
+// are built exactly once — and prints a headline comparison table, one
+// column per scenario. Each scenario streams through the sharded
+// engine (internal/stream) with recycled day buffers, so a sweep of N
+// scenarios costs one world build plus N streaming passes.
+//
+// Scenario sets are comma-separated registry names and/or JSON spec
+// files (the SCENARIOS.md schema); "all" expands to every registry
+// built-in.
+//
+//	mnosweep -list                  # show the registry
+//	mnosweep                        # default-covid vs no-pandemic vs early-lockdown
+//	mnosweep -scenarios all -users 2000
+//	mnosweep -scenarios default-covid,./my-scenario.json
+//
+// Usage:
+//
+//	mnosweep [-list] [-scenarios NAMES|all] [-users N] [-seed S] [-nokpi]
+//	         [-workers W] [-shards K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/stream"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the built-in scenario registry and exit")
+		names   = flag.String("scenarios", "default-covid,no-pandemic,early-lockdown", "comma-separated registry names and/or JSON spec files; \"all\" runs every built-in")
+		users   = flag.Int("users", 4000, "synthetic native smartphone users")
+		seed    = flag.Uint64("seed", 42, "master random seed (shared by every scenario: paired draws)")
+		noKPI   = flag.Bool("nokpi", false, "skip the traffic engine (mobility headlines only, ~3× faster)")
+		workers = flag.Int("workers", 0, "worker goroutines per run (0: GOMAXPROCS)")
+		shards  = flag.Int("shards", 0, "logical shards (0: default)")
+	)
+	flag.Parse()
+
+	if *list {
+		printRegistry()
+		return
+	}
+	if err := run(*names, *users, *seed, *noKPI, *workers, *shards); err != nil {
+		fmt.Fprintln(os.Stderr, "mnosweep:", err)
+		os.Exit(1)
+	}
+}
+
+func printRegistry() {
+	fmt.Println("built-in scenarios:")
+	for _, sp := range scenario.List() {
+		fmt.Printf("  %-16s %s\n", sp.Name, sp.Description)
+	}
+	fmt.Println("\npass -scenarios with any of these and/or paths to JSON spec files (see SCENARIOS.md)")
+}
+
+// resolve expands the -scenarios flag into named sweep entries.
+func resolve(names string) ([]experiments.SweepScenario, error) {
+	var tokens []string
+	if names == "all" {
+		tokens = scenario.Names()
+	} else {
+		for _, tok := range strings.Split(names, ",") {
+			if tok = strings.TrimSpace(tok); tok != "" {
+				tokens = append(tokens, tok)
+			}
+		}
+	}
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("no scenarios given")
+	}
+	out := make([]experiments.SweepScenario, 0, len(tokens))
+	for _, tok := range tokens {
+		sp, err := scenario.LoadSpec(tok)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sp.Scenario()
+		if err != nil {
+			return nil, err
+		}
+		label := sp.Name
+		if label == "" {
+			label = strings.TrimSuffix(filepath.Base(tok), ".json")
+		}
+		out = append(out, experiments.SweepScenario{Name: label, Scenario: s})
+	}
+	return out, nil
+}
+
+func run(names string, users int, seed uint64, noKPI bool, workers, shards int) error {
+	scens, err := resolve(names)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = users
+	cfg.Seed = seed
+	cfg.SkipKPI = noKPI
+	scfg := stream.Config{Workers: workers, Shards: shards}
+
+	start := time.Now()
+	world := experiments.NewWorld(cfg)
+	fmt.Fprintf(os.Stderr, "world built in %v (%d users); sweeping %d scenarios\n",
+		time.Since(start).Round(time.Millisecond), users, len(scens))
+
+	runs := experiments.RunSweep(world, cfg, scfg, scens)
+	table := experiments.SweepTable(runs)
+	table.Title = fmt.Sprintf("scenario sweep (%d users, seed %d)", users, seed)
+	report.WriteMarkdownTable(os.Stdout, &table)
+	fmt.Fprintf(os.Stderr, "sweep done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

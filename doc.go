@@ -16,18 +16,30 @@
 //   - internal/experiments: one runner per paper figure (Fig2 … Fig12),
 //     with shape checks against the published results. RunStandard is
 //     the serial pipeline; RunStreaming is the same pipeline on the
-//     sharded streaming engine, bit-identical at any worker count.
+//     sharded streaming engine, bit-identical at any worker count. The
+//     stack splits into a scenario-independent World (census + radio +
+//     population, built once) and per-scenario run stacks
+//     (World.Instantiate); RunSweep streams many scenarios over one
+//     shared World and SweepTable compares their headlines.
 //   - internal/stream: the sharded, backpressured streaming analytics
 //     engine (worker-pool day production, hash-partitioned shard
 //     stages, deterministic merge) every scaling path builds on.
+//   - internal/scenario: declarative JSON scenario specs and the named
+//     registry (default-covid, no-pandemic, early-lockdown, …) behind
+//     every -scenario flag; lossless round trips to pandemic.Scenario
+//     (see SCENARIOS.md).
 //   - cmd/figures: regenerate all figures and print PASS/FAIL checks.
 //   - cmd/mnosim: export the synthetic datasets as CSV (with -raw, the
-//     replayable trace/KPI/event feed directory).
-//   - cmd/mnostream: stream a feed directory — or the simulator inline —
-//     through the engine and emit rolling daily KPI/mobility summaries
-//     (-workers / -shards).
+//     replayable trace/KPI/event feed directory; -scenario selects the
+//     behavioural timeline).
+//   - cmd/mnostream: stream a feed directory — or the simulator inline,
+//     under any -scenario — through the engine and emit rolling daily
+//     KPI/mobility summaries (-workers / -shards).
+//   - cmd/mnosweep: run a scenario set over one shared world and print
+//     the headline comparison table (-list shows the registry).
 //   - cmd/analyze, cmd/ablate, cmd/calibrate, cmd/mobilityrpt: ad-hoc
-//     analysis, ablation sweeps, calibration and mobility reports.
+//     analysis, ablation sweeps (scenario ablation rides the sweep
+//     runner), calibration and mobility reports.
 //   - examples/: runnable walk-throughs of the public pipeline.
 //
 // The benchmarks in bench_test.go regenerate every table and figure (one

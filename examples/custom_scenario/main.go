@@ -57,26 +57,24 @@ func main() {
 		{"voluntary distancing only", voluntary},
 	}
 
+	// The world — census, radio topology, population — is scenario-
+	// independent: build it once and instantiate a run stack per
+	// scenario (this is exactly what experiments.RunSweep automates).
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = 3000
+	cfg.SkipKPI = true
+	world := experiments.NewWorld(cfg)
+
 	fmt.Println("national radius of gyration, Δ% vs week 9 (weekly means):")
 	for _, sc := range scenarios {
-		cfg := experiments.DefaultConfig()
-		cfg.TargetUsers = 3000
 		cfg.Scenario = sc.scen
-		cfg.SkipKPI = true
-		cfg.SkipFebruary = sc.scen != nil // homes only needed once
-		var r *experiments.Results
-		if cfg.SkipFebruary {
-			// Lightweight pass: mobility only.
-			d := experiments.NewDataset(cfg)
-			mob := core.NewMobilityAnalyzer(d.Pop, core.DefaultTopN)
-			for day := timegrid.SimDay(timegrid.StudyDayOffset); day < timegrid.SimDays; day++ {
-				mob.ConsumeDay(day, d.Sim.Day(day))
-			}
-			r = &experiments.Results{Dataset: d, Mobility: mob}
-		} else {
-			r = experiments.RunStandard(cfg)
+		d := world.Instantiate(cfg)
+		// Lightweight pass: mobility only, study window only.
+		mob := core.NewMobilityAnalyzer(d.Pop, core.DefaultTopN)
+		for day := timegrid.SimDay(timegrid.StudyDayOffset); day < timegrid.SimDays; day++ {
+			mob.ConsumeDay(day, d.Sim.Day(day))
 		}
-		s := r.Mobility.NationalSeries(core.MetricGyration)
+		s := mob.NationalSeries(core.MetricGyration)
 		w := core.DeltaSeries(s, stats.Mean(s.Values[:7])).WeeklyMeans()
 		trough, ti := w.Min()
 		fmt.Printf("  %-28s %s  trough %+.0f%% (week %d)\n",

@@ -42,7 +42,7 @@ func fixtureResults(t *testing.T) *testStack {
 		m := census.BuildUK(1)
 		topo := radio.Build(m, radio.DefaultConfig(), 1)
 		scen := pandemic.Default()
-		pop := popsim.Synthesize(m, topo, scen, popsim.Config{Seed: 1, TargetUsers: 3000})
+		pop := popsim.Synthesize(m, topo, popsim.Config{Seed: 1, TargetUsers: 3000})
 		s.Dataset.Model, s.Dataset.Topology, s.Dataset.Pop = m, topo, pop
 		s.Sim = mobsim.New(pop, scen, 1)
 

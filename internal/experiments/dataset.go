@@ -40,9 +40,12 @@ func DefaultConfig() Config {
 	return Config{Seed: 42, TargetUsers: 8000, PopPerTower: 40_000, TopN: core.DefaultTopN}
 }
 
-// Dataset is a fully constructed simulation stack.
+// Dataset is a fully constructed simulation stack: a shared,
+// scenario-independent World plus the per-scenario run stack (the
+// mobility simulator and the traffic engine) bound to it.
 type Dataset struct {
 	Config   Config
+	World    *World
 	Model    *census.Model
 	Topology *radio.Topology
 	Pop      *popsim.Population
@@ -51,42 +54,15 @@ type Dataset struct {
 	Engine   *traffic.Engine
 }
 
-// NewDataset builds the stack deterministically from the config.
+// NewDataset builds a fresh world and binds the config's scenario to
+// it. Callers running several scenarios over the same seed and scale
+// should build one World and Instantiate per scenario instead (or use
+// RunSweep), which skips the expensive world rebuild.
 func NewDataset(cfg Config) *Dataset {
 	if cfg.TargetUsers == 0 {
 		cfg = DefaultConfig()
 	}
-	if cfg.TopN == 0 {
-		cfg.TopN = core.DefaultTopN
-	}
-	scen := cfg.Scenario
-	if scen == nil {
-		scen = pandemic.Default()
-	}
-	model := census.BuildUK(cfg.Seed)
-	rcfg := radio.DefaultConfig()
-	if cfg.PopPerTower > 0 {
-		rcfg.PopPerTower = cfg.PopPerTower
-	}
-	topo := radio.Build(model, rcfg, cfg.Seed)
-	pop := popsim.Synthesize(model, topo, scen, popsim.Config{
-		Seed:           cfg.Seed,
-		TargetUsers:    cfg.TargetUsers,
-		M2MFraction:    0.08,
-		RoamerFraction: 0.03,
-	})
-	d := &Dataset{
-		Config:   cfg,
-		Model:    model,
-		Topology: topo,
-		Pop:      pop,
-		Scenario: scen,
-		Sim:      mobsim.New(pop, scen, cfg.Seed),
-	}
-	if !cfg.SkipKPI {
-		d.Engine = traffic.NewEngine(pop, scen, traffic.DefaultParams(), cfg.Seed)
-	}
-	return d
+	return NewWorld(cfg).Instantiate(cfg)
 }
 
 // DayConsumer receives one simulated day of traces. The slice is only
@@ -139,17 +115,23 @@ type Results struct {
 	Matrix   *core.MobilityMatrix
 }
 
-// RunStandard executes the canonical full pipeline: home detection over
-// February, then mobility metrics, the Inner-London mobility matrix
-// (with the cohort chosen by *detected* homes, as in the paper) and the
-// KPI analysis over the study window.
+// RunStandard executes the canonical full pipeline on a fresh world:
+// home detection over February, then mobility metrics, the Inner-London
+// mobility matrix (with the cohort chosen by *detected* homes, as in
+// the paper) and the KPI analysis over the study window.
+func RunStandard(cfg Config) *Results {
+	return RunStandardOn(NewDataset(cfg))
+}
+
+// RunStandardOn is RunStandard over an already-instantiated stack
+// (e.g. one of several scenarios bound to a shared World).
 //
 // It runs the simulation twice: a February-only pass to detect homes
 // (so the matrix cohort exists before the study window starts), then the
 // full pass. Both passes are deterministic and share the same per-day
 // streams, so the traces are identical across passes.
-func RunStandard(cfg Config) *Results {
-	d := NewDataset(cfg)
+func RunStandardOn(d *Dataset) *Results {
+	cfg := d.Config
 	r := &Results{Dataset: d}
 
 	// Pass 1: February only, for home detection. One day buffer serves

@@ -21,9 +21,13 @@ func RunStreaming(cfg Config, workers int) *Results {
 // RunStreamingConfig is RunStreaming with full control over the engine
 // sizing (shard count, backpressure window).
 func RunStreamingConfig(cfg Config, scfg stream.Config) *Results {
+	return RunStreamingOn(NewDataset(cfg), scfg)
+}
+
+// RunStreamingOn is RunStreamingConfig over an already-instantiated
+// stack.
+func RunStreamingOn(d *Dataset, scfg stream.Config) *Results {
 	scfg = scfg.WithDefaults()
-	d := NewDataset(cfg)
-	r := &Results{Dataset: d}
 
 	// Pass 1: February only, for home detection, sharded by user.
 	homes := stream.NewHomes(d.Topology, scfg.Shards)
@@ -31,7 +35,17 @@ func RunStreamingConfig(cfg Config, scfg stream.Config) *Results {
 	eng.AddTraceSharder(homes)
 	febSrc := stream.NewSimSource(d.Sim, nil, 0, timegrid.FebruaryDays, scfg)
 	_ = eng.Run(febSrc) // SimSource never errors
-	r.Homes = homes.Detect()
+	return runStreamingStudy(d, scfg, homes.Detect())
+}
+
+// runStreamingStudy is the study-window pass over prebuilt February
+// homes. The sweep runner calls it directly with the World's shared
+// homes — February traces are scenario-invariant, so re-detecting per
+// scenario would only repeat identical work.
+func runStreamingStudy(d *Dataset, scfg stream.Config, detected map[popsim.UserID]core.Home) *Results {
+	scfg = scfg.WithDefaults()
+	cfg := d.Config
+	r := &Results{Dataset: d, Homes: detected}
 
 	// Cohort: users whose detected home county is Inner London.
 	inner := d.Model.InnerLondon()

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"repro/internal/pandemic"
+	"repro/internal/stats"
+	"repro/internal/stream"
+)
+
+// SweepScenario is one named entry of a scenario sweep. A nil Scenario
+// means the calibrated default timeline.
+type SweepScenario struct {
+	Name     string
+	Scenario *pandemic.Scenario
+}
+
+// SweepRun is the outcome of one scenario of a sweep.
+type SweepRun struct {
+	Name      string
+	Results   *Results
+	Headlines []Headline
+}
+
+// RunSweep executes every scenario over the shared world, each through
+// the streaming engine (with its recycled day buffers), and extracts the
+// headline statistics per run. cfg carries the per-run knobs (TopN,
+// SkipKPI, …); its Scenario field is ignored — the sweep entries decide.
+// The world is built exactly once by the caller; RunSweep never
+// constructs another, and the February home-detection pass — scenario-
+// invariant, like everything else in the world — runs once and is
+// shared by every run.
+//
+// Runs share the world's seed, so scenarios are compared on *paired*
+// draws: every agent keeps its home, anchors, device and relocation
+// candidacy across runs, and only the behavioural response differs.
+func RunSweep(w *World, cfg Config, scfg stream.Config, scens []SweepScenario) []SweepRun {
+	homes := w.Homes()
+	out := make([]SweepRun, 0, len(scens))
+	for _, sc := range scens {
+		c := cfg
+		c.Scenario = sc.Scenario
+		r := runStreamingStudy(w.Instantiate(c), scfg, homes)
+		out = append(out, SweepRun{Name: sc.Name, Results: r, Headlines: Headlines(r)})
+	}
+	return out
+}
+
+// SweepTable tabulates a sweep as headline rows × scenario columns,
+// keeping only the headlines present in every run (KPI headlines drop
+// out of mobility-only sweeps, exactly as in CompareScenarios).
+func SweepTable(runs []SweepRun) stats.Table {
+	t := stats.Table{Title: "scenario sweep"}
+	if len(runs) == 0 {
+		return t
+	}
+	for _, run := range runs {
+		t.ColNames = append(t.ColNames, run.Name)
+	}
+	byName := make([]map[string]float64, len(runs))
+	for i, run := range runs {
+		byName[i] = make(map[string]float64, len(run.Headlines))
+		for _, h := range run.Headlines {
+			byName[i][h.Name] = h.Value
+		}
+	}
+	for _, h := range runs[0].Headlines {
+		row := make([]float64, len(runs))
+		ok := true
+		for i := range runs {
+			v, has := byName[i][h.Name]
+			if !has {
+				ok = false
+				break
+			}
+			row[i] = v
+		}
+		if ok {
+			t.AddRow(h.Name, row)
+		}
+	}
+	return t
+}

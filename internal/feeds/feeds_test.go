@@ -29,7 +29,7 @@ func fixture(t *testing.T) (*popsim.Population, *mobsim.Simulator, *traffic.Engi
 	fixOnce.Do(func() {
 		m := census.BuildUK(1)
 		topo := radio.Build(m, radio.DefaultConfig(), 1)
-		fixPop = popsim.Synthesize(m, topo, pandemic.Default(), popsim.Config{Seed: 1, TargetUsers: 600})
+		fixPop = popsim.Synthesize(m, topo, popsim.Config{Seed: 1, TargetUsers: 600})
 		fixSim = mobsim.New(fixPop, pandemic.Default(), 1)
 		fixEng = traffic.NewEngine(fixPop, pandemic.Default(), traffic.DefaultParams(), 1)
 	})

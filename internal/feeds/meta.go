@@ -18,9 +18,14 @@ const MetaFeedName = "feed_meta.csv"
 type Meta struct {
 	Users int
 	Seed  uint64
+	// Scenario names the behavioural scenario the feed was generated
+	// under (a registry name or spec file; empty means the calibrated
+	// default, and feeds written before the column existed read back
+	// empty).
+	Scenario string
 }
 
-var metaHeader = []string{"users", "seed"}
+var metaHeader = []string{"users", "seed", "scenario"}
 
 // WriteMeta persists the provenance sidecar into a feed directory.
 func WriteMeta(dir string, m Meta) error {
@@ -30,7 +35,7 @@ func WriteMeta(dir string, m Meta) error {
 	}
 	defer f.Close()
 	w := csv.NewWriter(f)
-	rows := [][]string{metaHeader, {strconv.Itoa(m.Users), strconv.FormatUint(m.Seed, 10)}}
+	rows := [][]string{metaHeader, {strconv.Itoa(m.Users), strconv.FormatUint(m.Seed, 10), m.Scenario}}
 	for _, rec := range rows {
 		if err := w.Write(rec); err != nil {
 			return err
@@ -42,6 +47,8 @@ func WriteMeta(dir string, m Meta) error {
 
 // ReadMeta loads the provenance sidecar; ok is false when the directory
 // has none (feeds written before the sidecar existed replay unchecked).
+// Sidecars without the scenario column (the pre-scenario format) read
+// back with an empty Scenario.
 func ReadMeta(dir string) (m Meta, ok bool, err error) {
 	f, err := os.Open(filepath.Join(dir, MetaFeedName))
 	if os.IsNotExist(err) {
@@ -52,17 +59,20 @@ func ReadMeta(dir string) (m Meta, ok bool, err error) {
 	}
 	defer f.Close()
 	r := csv.NewReader(f)
-	r.FieldsPerRecord = len(metaHeader)
+	r.FieldsPerRecord = -1
 	hdr, err := r.Read()
 	if err != nil {
 		return Meta{}, false, fmt.Errorf("feeds: reading meta header: %w", err)
 	}
-	if !equalRow(hdr, metaHeader) {
+	if len(hdr) < 2 || len(hdr) > len(metaHeader) || !equalRow(hdr, metaHeader[:len(hdr)]) {
 		return Meta{}, false, ErrBadHeader
 	}
 	rec, err := r.Read()
 	if err != nil {
 		return Meta{}, false, fmt.Errorf("feeds: reading meta row: %w", err)
+	}
+	if len(rec) != len(hdr) {
+		return Meta{}, false, fmt.Errorf("feeds: meta row %v does not match header %v", rec, hdr)
 	}
 	users, err1 := strconv.Atoi(rec[0])
 	seed, err2 := strconv.ParseUint(rec[1], 10, 64)
@@ -71,5 +81,9 @@ func ReadMeta(dir string) (m Meta, ok bool, err error) {
 			return Meta{}, false, fmt.Errorf("feeds: bad meta row %v: %w", rec, err)
 		}
 	}
-	return Meta{Users: users, Seed: seed}, true, nil
+	m = Meta{Users: users, Seed: seed}
+	if len(rec) > 2 {
+		m.Scenario = rec[2]
+	}
+	return m, true, nil
 }

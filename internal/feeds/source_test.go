@@ -158,7 +158,7 @@ func TestMetaRoundTrip(t *testing.T) {
 	if _, ok, err := ReadMeta(dir); err != nil || ok {
 		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
 	}
-	want := Meta{Users: 8000, Seed: 42}
+	want := Meta{Users: 8000, Seed: 42, Scenario: "early-lockdown"}
 	if err := WriteMeta(dir, want); err != nil {
 		t.Fatal(err)
 	}
@@ -168,5 +168,30 @@ func TestMetaRoundTrip(t *testing.T) {
 	}
 	if got != want {
 		t.Fatalf("meta: got %+v, want %+v", got, want)
+	}
+}
+
+func TestMetaReadsPreScenarioSidecar(t *testing.T) {
+	// Feeds written before the scenario column existed must still read,
+	// with an empty Scenario.
+	dir := t.TempDir()
+	legacy := "users,seed\n8000,42\n"
+	if err := os.WriteFile(filepath.Join(dir, MetaFeedName), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadMeta(dir)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got != (Meta{Users: 8000, Seed: 42}) {
+		t.Fatalf("legacy meta: got %+v", got)
+	}
+	// Truncated sidecars (fewer than the two mandatory columns) are
+	// rejected, not panicked on.
+	if err := os.WriteFile(filepath.Join(dir, MetaFeedName), []byte("users\n8000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadMeta(dir); err == nil {
+		t.Fatal("truncated meta header accepted")
 	}
 }

@@ -131,8 +131,10 @@ func (s *Simulator) buildUserDay(b *dayBuilder, id popsim.UserID, day timegrid.S
 	// decision is drawn first so the rest of the day's stream is stable.
 	b.nightOff = src.Bool(u.NightOff)
 
-	// Relocated agents live at their secondary residence for the whole
-	// lockdown window (§3.4): their entire day happens there.
+	// Relocation candidates live at their secondary residence for the
+	// whole lockdown window (§3.4) — but only under scenarios whose
+	// relocation toggle is on; RelocationActive is always false
+	// otherwise, keeping candidates at home.
 	if u.Relocates && s.scen.RelocationActive(day) {
 		b.residenceTower = u.RelocTower
 		b.residenceDistrict = u.RelocDistrict

@@ -22,7 +22,7 @@ func fixture(t *testing.T) *Simulator {
 	fixOnce.Do(func() {
 		m := census.BuildUK(1)
 		topo := radio.Build(m, radio.DefaultConfig(), 1)
-		pop := popsim.Synthesize(m, topo, pandemic.Default(), popsim.Config{
+		pop := popsim.Synthesize(m, topo, popsim.Config{
 			Seed: 1, TargetUsers: 2500,
 		})
 		fixSim = New(pop, pandemic.Default(), 1)
@@ -227,6 +227,41 @@ func TestRelocatedUsersHomeBeforeLockdown(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestRelocationCandidatesStayHomeWhenToggleOff(t *testing.T) {
+	// The population is scenario-independent, so relocation candidates
+	// exist regardless of scenario; a scenario whose relocation toggle
+	// is off must keep every candidate at their primary residence.
+	pop := fixture(t).Population()
+	noReloc, err := pandemic.NewBuilder().
+		Activity(0, 1).
+		Activity(28, 0.5).
+		Activity(76, 0.5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(pop, noReloc, 1)
+	day := timegrid.LockdownStart.ToSimDay() + 7
+	traces := s.Day(day)
+	checked := 0
+	for i := range traces {
+		tr := &traces[i]
+		u := pop.User(tr.User)
+		if !u.Relocates {
+			continue
+		}
+		checked++
+		for _, v := range tr.Visits {
+			if v.AtResidence && pop.Topology().Tower(v.Tower).District != u.HomeDistrict {
+				t.Fatalf("candidate %d relocated under a relocation-off scenario", tr.User)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no relocation candidates in the small fixture")
 	}
 }
 

@@ -36,21 +36,68 @@ func NewBuilder() *Builder {
 	}
 }
 
-// addAnchor validates and appends one control point.
+// addAnchor validates and appends one whole-day control point.
 func (b *Builder) addAnchor(curve *[]anchor, day timegrid.StudyDay, value float64, name string) *Builder {
+	return b.addAnchorAt(curve, float64(day), value, name)
+}
+
+// addAnchorAt validates and appends one control point at a possibly
+// fractional study day.
+func (b *Builder) addAnchorAt(curve *[]anchor, day, value float64, name string) *Builder {
 	if b.err != nil {
 		return b
 	}
-	if day < 0 || int(day) >= timegrid.StudyDays {
-		b.err = fmt.Errorf("pandemic: %s anchor day %d outside the study window", name, day)
+	if day < 0 || day >= timegrid.StudyDays {
+		b.err = fmt.Errorf("pandemic: %s anchor day %v outside the study window", name, day)
 		return b
 	}
 	if value < 0 {
 		b.err = fmt.Errorf("pandemic: %s anchor value %v negative", name, value)
 		return b
 	}
-	*curve = append(*curve, anchor{day: float64(day), value: value})
+	*curve = append(*curve, anchor{day: day, value: value})
 	return b
+}
+
+// Curve names accepted by AnchorAt, one per factor curve of a Scenario.
+const (
+	CurveActivity     = "activity"
+	CurveVoice        = "voice"
+	CurveData         = "data"
+	CurveHomeCellular = "home-cellular"
+	CurveThrottle     = "throttle"
+)
+
+// CurveNames lists the factor-curve names in canonical order.
+func CurveNames() []string {
+	return []string{CurveActivity, CurveVoice, CurveData, CurveHomeCellular, CurveThrottle}
+}
+
+// AnchorAt adds a control point to the curve named by one of the Curve*
+// constants, at a possibly fractional study day. It is the declarative
+// entry point used by spec-driven construction (internal/scenario); the
+// typed methods below are equivalent for whole days.
+func (b *Builder) AnchorAt(curve string, day, value float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	var c *[]anchor
+	switch curve {
+	case CurveActivity:
+		c = &b.activity
+	case CurveVoice:
+		c = &b.voice
+	case CurveData:
+		c = &b.data
+	case CurveHomeCellular:
+		c = &b.homeCellular
+	case CurveThrottle:
+		c = &b.throttle
+	default:
+		b.err = fmt.Errorf("pandemic: unknown curve %q", curve)
+		return b
+	}
+	return b.addAnchorAt(c, day, value, curve)
 }
 
 // Activity adds an out-of-home activity anchor (1.0 = normal).
@@ -95,6 +142,11 @@ func (b *Builder) RelaxBonus(county string, bonus float64) *Builder {
 // CaseCurve configures the logistic cumulative case curve: plateau
 // scale, growth rate and midpoint (study day).
 func (b *Builder) CaseCurve(plateau, k float64, midDay timegrid.StudyDay) *Builder {
+	return b.CaseCurveAt(plateau, k, float64(midDay))
+}
+
+// CaseCurveAt is CaseCurve with a possibly fractional midpoint day.
+func (b *Builder) CaseCurveAt(plateau, k, midDay float64) *Builder {
 	if b.err != nil {
 		return b
 	}
@@ -102,7 +154,7 @@ func (b *Builder) CaseCurve(plateau, k float64, midDay timegrid.StudyDay) *Build
 		b.err = fmt.Errorf("pandemic: invalid case curve plateau=%v k=%v", plateau, k)
 		return b
 	}
-	b.caseL, b.caseK, b.caseMid = plateau, k, float64(midDay)
+	b.caseL, b.caseK, b.caseMid = plateau, k, midDay
 	return b
 }
 
@@ -110,6 +162,13 @@ func (b *Builder) CaseCurve(plateau, k float64, midDay timegrid.StudyDay) *Build
 // seasonal residents.
 func (b *Builder) WithRelocation() *Builder {
 	b.relocation = true
+	return b
+}
+
+// Relocation sets the relocation toggle explicitly; Relocation(true) is
+// WithRelocation.
+func (b *Builder) Relocation(enabled bool) *Builder {
+	b.relocation = enabled
 	return b
 }
 
@@ -130,17 +189,10 @@ func (b *Builder) Build() (*Scenario, error) {
 		caseK:               b.caseK,
 		caseMid:             b.caseMid,
 	}
-	if !b.relocation {
-		// Without relocation the scenario behaves like Default's
-		// machinery with zero seasonal propensity: expose that by
-		// keeping RelocationProb semantics — a nil-safe zero is already
-		// returned for null scenarios; here we emulate by leaving
-		// relocation active windows in place but with the caller's
-		// population synthesized against a scenario whose
-		// RelocationProb is scaled to zero. Simplest correct behaviour:
-		// mark the scenario's relocation factor.
-		s.relocationScale = 0
-	} else {
+	// The relocation toggle: population synthesis marks candidates
+	// scenario-free, and RelocationActive gates on this scale, so a
+	// scenario without relocation keeps every candidate at home.
+	if b.relocation {
 		s.relocationScale = 1
 	}
 	return s, nil

@@ -22,8 +22,9 @@ import (
 )
 
 // Scenario is a full behavioural scenario. The zero value is not useful;
-// use Default (the calibrated COVID scenario) or NoPandemic (a null
-// scenario for ablations).
+// use Default (the calibrated COVID scenario), NoPandemic (a null
+// scenario for ablations), a Builder (custom timelines), or FromSnapshot
+// (declarative specs — see internal/scenario).
 type Scenario struct {
 	// activity anchors: piecewise-linear national out-of-home activity
 	// level by study day, 1.0 = pre-pandemic normal.
@@ -49,9 +50,12 @@ type Scenario struct {
 	caseL, caseK float64
 	caseMid      float64 // study day of the logistic midpoint
 
-	// relocationScale scales the seasonal-resident relocation
-	// propensity (1 in the default scenario, 0 when a Builder scenario
-	// opts out).
+	// relocationScale is the scenario's relocation toggle: 1 when
+	// seasonal residents relocate for the lockdown (the default
+	// scenario), 0 when a Builder scenario opts out. Population
+	// synthesis marks relocation *candidates* scenario-free
+	// (SeasonalRelocationPropensity); this toggle, via
+	// RelocationActive, decides whether the move ever happens.
 	relocationScale float64
 
 	null bool // NoPandemic scenario
@@ -260,9 +264,10 @@ func (s *Scenario) CumulativeCases(d timegrid.StudyDay) float64 {
 var relocationStart = timegrid.MustStudyDayOf(timegrid.DateOfStudyDay(0).AddDate(0, 0, 24)) // 19 Mar
 
 // RelocationActive reports whether, on the given simulated day, seasonal
-// residents who decided to relocate are away from their primary home.
+// residents who decided to relocate are away from their primary home. It
+// is always false for scenarios whose relocation toggle is off.
 func (s *Scenario) RelocationActive(d timegrid.SimDay) bool {
-	if s.null {
+	if s.null || s.relocationScale <= 0 {
 		return false
 	}
 	sd, ok := d.ToStudyDay()
@@ -361,14 +366,27 @@ func (s *Scenario) ExodusDestinationBias(d timegrid.StudyDay, destCounty string)
 	return 1
 }
 
-// RelocationProb returns the probability that a *seasonal* resident of
-// the given district permanently relocates away for the lockdown. It is
-// calibrated so that ≈10% of Inner London residents are absent from week
-// 13 onward (§3.4), given the district seasonal shares in the census
-// model.
-func (s *Scenario) RelocationProb(d *census.District) float64 {
-	if s.null || d == nil {
+// SeasonalRelocationPropensity returns the scenario-free probability
+// that a *seasonal* resident of the district is a relocation candidate:
+// a student, long-term tourist or second-home owner who would leave for
+// the lockdown. It is calibrated so that ≈10% of Inner London residents
+// are absent from week 13 onward (§3.4), given the district seasonal
+// shares in the census model. Population synthesis draws candidates from
+// this propensity; whether they actually move is the scenario's call
+// (RelocationActive).
+func SeasonalRelocationPropensity(d *census.District) float64 {
+	if d == nil {
 		return 0
 	}
-	return 0.80 * d.SeasonalShare * s.relocationScale
+	return 0.80 * d.SeasonalShare
+}
+
+// RelocationProb returns the probability that a seasonal resident of the
+// given district relocates away *under this scenario*: the scenario-free
+// propensity gated by the scenario's relocation toggle.
+func (s *Scenario) RelocationProb(d *census.District) float64 {
+	if s.null {
+		return 0
+	}
+	return SeasonalRelocationPropensity(d) * s.relocationScale
 }

@@ -1,0 +1,102 @@
+package pandemic
+
+// AnchorPoint is one exported (study day, value) control point of a
+// factor curve. Day may be fractional.
+type AnchorPoint struct {
+	Day   float64
+	Value float64
+}
+
+// Snapshot is a portable, fully exported description of a Scenario: the
+// anchor curves, regional relaxation bonuses, case-curve parameters and
+// the relocation toggle. It exists so declarative scenario formats
+// (internal/scenario) can round-trip a Scenario losslessly —
+// FromSnapshot(s.Snapshot()) reproduces bit-identical daily factors.
+type Snapshot struct {
+	// Null marks the no-pandemic scenario; all other fields are empty.
+	Null bool
+
+	Activity     []AnchorPoint
+	Voice        []AnchorPoint
+	Data         []AnchorPoint
+	HomeCellular []AnchorPoint
+	Throttle     []AnchorPoint
+
+	RelaxBonus map[string]float64
+
+	CasePlateau float64
+	CaseGrowth  float64
+	CaseMidDay  float64
+
+	Relocation bool
+}
+
+// points converts an internal anchor slice to exported control points.
+func points(as []anchor) []AnchorPoint {
+	if len(as) == 0 {
+		return nil
+	}
+	out := make([]AnchorPoint, len(as))
+	for i, a := range as {
+		out[i] = AnchorPoint{Day: a.day, Value: a.value}
+	}
+	return out
+}
+
+// Snapshot exports the scenario's full definition.
+func (s *Scenario) Snapshot() Snapshot {
+	if s.null {
+		return Snapshot{Null: true}
+	}
+	sn := Snapshot{
+		Activity:     points(s.activityAnchors),
+		Voice:        points(s.voiceAnchors),
+		Data:         points(s.dataAnchors),
+		HomeCellular: points(s.homeCellularAnchors),
+		Throttle:     points(s.throttleAnchors),
+		CasePlateau:  s.caseL,
+		CaseGrowth:   s.caseK,
+		CaseMidDay:   s.caseMid,
+		Relocation:   s.relocationScale > 0,
+	}
+	if len(s.relaxBonus) > 0 {
+		sn.RelaxBonus = make(map[string]float64, len(s.relaxBonus))
+		for county, bonus := range s.relaxBonus {
+			sn.RelaxBonus[county] = bonus
+		}
+	}
+	return sn
+}
+
+// FromSnapshot rebuilds a Scenario from its snapshot through the Builder
+// (so snapshots get the same validation as hand-built scenarios). The
+// result's daily factors are bit-identical to the snapshotted
+// scenario's.
+func FromSnapshot(sn Snapshot) (*Scenario, error) {
+	if sn.Null {
+		return NoPandemic(), nil
+	}
+	b := NewBuilder()
+	for _, c := range []struct {
+		name string
+		pts  []AnchorPoint
+	}{
+		{CurveActivity, sn.Activity},
+		{CurveVoice, sn.Voice},
+		{CurveData, sn.Data},
+		{CurveHomeCellular, sn.HomeCellular},
+		{CurveThrottle, sn.Throttle},
+	} {
+		for _, p := range c.pts {
+			b.AnchorAt(c.name, p.Day, p.Value)
+		}
+	}
+	for county, bonus := range sn.RelaxBonus {
+		b.RelaxBonus(county, bonus)
+	}
+	if sn.CaseGrowth != 0 || sn.CasePlateau != 0 {
+		b.CaseCurveAt(sn.CasePlateau, sn.CaseGrowth, sn.CaseMidDay)
+	}
+	b.Relocation(sn.Relocation)
+	return b.Build()
+}

@@ -108,8 +108,12 @@ type User struct {
 	// ([1]); discretionary anchors follow. len is 3–8.
 	Anchors []Anchor
 
-	// Relocates marks agents (students, long-term tourists, second-home
-	// owners) who leave their primary residence for the lockdown.
+	// Relocates marks relocation *candidates*: agents (students,
+	// long-term tourists, second-home owners) who would leave their
+	// primary residence for a lockdown. Whether the move actually
+	// happens is the scenario's call — the mobility simulator only
+	// relocates candidates while pandemic.Scenario.RelocationActive
+	// holds, so the synthesized population stays scenario-independent.
 	Relocates     bool
 	RelocTower    radio.TowerID
 	RelocDistrict census.DistrictID
@@ -226,9 +230,11 @@ func anchorCount(c census.Cluster, src *rng.Source) int {
 }
 
 // Synthesize builds the population over the census model and radio
-// topology, with relocation decisions drawn against the scenario. The
-// result is deterministic in (model, topo, scenario identity, cfg).
-func Synthesize(model *census.Model, topo *radio.Topology, scen *pandemic.Scenario, cfg Config) *Population {
+// topology. The result is deterministic in (model, topo, cfg) and
+// scenario-independent: relocation *candidates* are drawn from the
+// scenario-free seasonal propensity, so one population can be shared
+// across every scenario of a sweep (experiments.World).
+func Synthesize(model *census.Model, topo *radio.Topology, cfg Config) *Population {
 	if cfg.TargetUsers <= 0 {
 		cfg = DefaultConfig()
 	}
@@ -258,7 +264,7 @@ func Synthesize(model *census.Model, topo *radio.Topology, scen *pandemic.Scenar
 		dsrc := master.Split(uint64(di))
 		for i := 0; i < n; i++ {
 			usrc := dsrc.Split(uint64(i))
-			u := p.newNativeUser(d, catalog, scen, usrc, destNames, destWeights)
+			u := p.newNativeUser(d, catalog, usrc, destNames, destWeights)
 			p.byHomeCounty[u.HomeCounty] = append(p.byHomeCounty[u.HomeCounty], u.ID)
 			p.native = append(p.native, u.ID)
 		}
@@ -307,7 +313,7 @@ func Synthesize(model *census.Model, topo *radio.Topology, scen *pandemic.Scenar
 }
 
 // newNativeUser synthesizes one native smartphone agent homed in d.
-func (p *Population) newNativeUser(d *census.District, catalog *devices.Catalog, scen *pandemic.Scenario, src *rng.Source, destNames []string, destWeights []float64) *User {
+func (p *Population) newNativeUser(d *census.District, catalog *devices.Catalog, src *rng.Source, destNames []string, destWeights []float64) *User {
 	model, topo := p.model, p.topo
 	u := User{
 		ID:           UserID(len(p.Users)),
@@ -371,8 +377,11 @@ func (p *Population) newNativeUser(d *census.District, catalog *devices.Catalog,
 		})
 	}
 
-	// Relocation decision (§3.4).
-	if scen != nil && src.Bool(scen.RelocationProb(d)) {
+	// Relocation candidacy (§3.4): drawn from the scenario-free
+	// seasonal propensity so the population is reusable across
+	// scenarios; the scenario's relocation toggle decides at simulation
+	// time whether candidates actually move.
+	if src.Bool(pandemic.SeasonalRelocationPropensity(d)) {
 		u.Relocates = true
 		var destCounty *census.County
 		if model.County(d.County).Kind == census.KindMetroCore || model.County(d.County).Kind == census.KindMetroSuburb {

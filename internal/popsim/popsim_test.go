@@ -8,6 +8,7 @@ import (
 	"repro/internal/devices"
 	"repro/internal/pandemic"
 	"repro/internal/radio"
+	"repro/internal/timegrid"
 )
 
 var (
@@ -21,7 +22,7 @@ func fixture(t *testing.T) *Population {
 	fixOnce.Do(func() {
 		m := census.BuildUK(1)
 		topo := radio.Build(m, radio.DefaultConfig(), 1)
-		fixPop = Synthesize(m, topo, pandemic.Default(), Config{
+		fixPop = Synthesize(m, topo, Config{
 			Seed: 1, TargetUsers: 4000, M2MFraction: 0.08, RoamerFraction: 0.03,
 		})
 	})
@@ -238,8 +239,8 @@ func TestSynthesizeDeterminism(t *testing.T) {
 	m := census.BuildUK(2)
 	topo := radio.Build(m, radio.DefaultConfig(), 2)
 	cfg := Config{Seed: 9, TargetUsers: 500, M2MFraction: 0.05, RoamerFraction: 0.02}
-	a := Synthesize(m, topo, pandemic.Default(), cfg)
-	b := Synthesize(m, topo, pandemic.Default(), cfg)
+	a := Synthesize(m, topo, cfg)
+	b := Synthesize(m, topo, cfg)
 	if len(a.Users) != len(b.Users) {
 		t.Fatal("user counts differ")
 	}
@@ -252,21 +253,37 @@ func TestSynthesizeDeterminism(t *testing.T) {
 	}
 }
 
-func TestNoPandemicNoRelocation(t *testing.T) {
-	m := census.BuildUK(3)
-	topo := radio.Build(m, radio.DefaultConfig(), 3)
-	p := Synthesize(m, topo, pandemic.NoPandemic(), Config{Seed: 3, TargetUsers: 1000})
-	for i := range p.Users {
-		if p.Users[i].Relocates {
-			t.Fatal("null scenario should produce no relocations")
+func TestRelocationCandidatesAreSeasonal(t *testing.T) {
+	// Candidacy is scenario-free: it is drawn from the district's
+	// seasonal share alone, so districts with no seasonal population
+	// produce no candidates — whatever scenario later runs on top.
+	p := fixture(t)
+	m := p.Model()
+	candidates := 0
+	for _, id := range p.Native() {
+		u := p.User(id)
+		if !u.Relocates {
+			continue
 		}
+		candidates++
+		if pandemic.SeasonalRelocationPropensity(m.District(u.HomeDistrict)) == 0 {
+			t.Fatalf("user %d is a relocation candidate in a district with zero seasonal share", id)
+		}
+	}
+	if candidates == 0 {
+		t.Fatal("no relocation candidates synthesized")
+	}
+	// The null scenario keeps every candidate at home: activation, not
+	// candidacy, is the scenario's decision.
+	if pandemic.NoPandemic().RelocationActive(timegrid.SimDays - 1) {
+		t.Error("null scenario must never activate relocation")
 	}
 }
 
 func TestZeroConfigFallsBack(t *testing.T) {
 	m := census.BuildUK(4)
 	topo := radio.Build(m, radio.DefaultConfig(), 4)
-	p := Synthesize(m, topo, pandemic.Default(), Config{})
+	p := Synthesize(m, topo, Config{})
 	if len(p.Native()) == 0 {
 		t.Fatal("zero config should fall back to defaults")
 	}

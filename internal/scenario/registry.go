@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/pandemic"
+)
+
+// Built-in registry names.
+const (
+	DefaultCovid  = "default-covid"
+	NoPandemic    = "no-pandemic"
+	EarlyLockdown = "early-lockdown"
+	LateLockdown  = "late-lockdown"
+	SecondWave    = "second-wave"
+	DeepOffload   = "deep-offload"
+	VoiceSurge    = "voice-surge"
+)
+
+var (
+	registryOnce sync.Once
+	registry     map[string]Spec
+	registryOrd  []string
+)
+
+// buildRegistry constructs the built-in specs once. Every entry derives
+// from the default-covid snapshot, so the registry stays consistent
+// with pandemic.Default by construction.
+func buildRegistry() {
+	base := FromScenario(DefaultCovid,
+		"the calibrated UK COVID-19 timeline of the paper; identical to pandemic.Default",
+		pandemic.Default())
+
+	early := Shifted(base, -14)
+	early.Name = EarlyLockdown
+	early.Description = "the behavioural curves (activity, demand, offload, cases) land two weeks earlier against the same calendar"
+
+	late := Shifted(base, 14)
+	late.Name = LateLockdown
+	late.Description = "the behavioural curves land two weeks later; the unchecked spread grows a larger case wave"
+	late.CaseCurve = &CaseCurve{Plateau: 420_000, Growth: late.CaseCurve.Growth, MidDay: late.CaseCurve.MidDay}
+
+	second := base
+	second.Name = SecondWave
+	second.Description = "restrictions ease from week 15, mobility rebounds, and a renewed wave forces a second clampdown by week 19"
+	second.Activity = replaceFrom(base.Activity, 48, Curve{
+		{Day: 48, Value: 0.50},
+		{Day: 55, Value: 0.68},
+		{Day: 60, Value: 0.80},
+		{Day: 66, Value: 0.60},
+		{Day: 71, Value: 0.46},
+		{Day: 76, Value: 0.42},
+	})
+	second.Voice = replaceFrom(base.Voice, 55, Curve{
+		{Day: 55, Value: 2.00},
+		{Day: 62, Value: 2.10},
+		{Day: 69, Value: 2.35},
+		{Day: 76, Value: 2.30},
+	})
+
+	offload := base
+	offload.Name = DeepOffload
+	offload.Description = "confinement pushes far more at-home data onto residential WiFi (deeper cellular offload)"
+	offload.HomeCellular = Curve{
+		{Day: 0, Value: 1.00},
+		{Day: 21, Value: 0.84},
+		{Day: 28, Value: 0.62},
+		{Day: 41, Value: 0.55},
+		{Day: 76, Value: 0.58},
+	}
+
+	voice := base
+	voice.Name = VoiceSurge
+	voice.Description = "the conversational voice comeback overshoots: demand peaks above 3× instead of 2.5×"
+	voice.Voice = Curve{
+		{Day: 0, Value: 1.00},
+		{Day: 6, Value: 1.05},
+		{Day: 8, Value: 1.72},
+		{Day: 13, Value: 2.10},
+		{Day: 20, Value: 2.60},
+		{Day: 21, Value: 2.80},
+		{Day: 25, Value: 3.00},
+		{Day: 30, Value: 3.20},
+		{Day: 41, Value: 2.80},
+		{Day: 55, Value: 2.40},
+		{Day: 76, Value: 2.00},
+	}
+
+	null := Spec{
+		Name:        NoPandemic,
+		Description: "the null scenario: no pandemic ever happens, every factor stays at baseline",
+		Null:        true,
+	}
+
+	registry = map[string]Spec{}
+	for _, sp := range []Spec{base, null, early, late, second, offload, voice} {
+		registry[sp.Name] = sp
+		registryOrd = append(registryOrd, sp.Name)
+	}
+}
+
+// replaceFrom drops the curve's anchors at or after day `from` and
+// appends the replacement tail.
+func replaceFrom(c Curve, from float64, tail Curve) Curve {
+	var out Curve
+	for _, p := range c {
+		if p.Day >= from {
+			break
+		}
+		out = append(out, p)
+	}
+	return append(out, tail...)
+}
+
+// Names returns the built-in scenario names in registry order.
+func Names() []string {
+	registryOnce.Do(buildRegistry)
+	return append([]string(nil), registryOrd...)
+}
+
+// Get returns a copy of the named built-in spec.
+func Get(name string) (Spec, bool) {
+	registryOnce.Do(buildRegistry)
+	sp, ok := registry[name]
+	if !ok {
+		return Spec{}, false
+	}
+	return clone(sp), true
+}
+
+// List returns copies of every built-in spec, in registry order.
+func List() []Spec {
+	registryOnce.Do(buildRegistry)
+	out := make([]Spec, 0, len(registryOrd))
+	for _, name := range registryOrd {
+		out = append(out, clone(registry[name]))
+	}
+	return out
+}
+
+// clone deep-copies a spec so registry entries cannot be mutated
+// through the copies Get/List hand out.
+func clone(sp Spec) Spec {
+	sp.Activity = append(Curve(nil), sp.Activity...)
+	sp.Voice = append(Curve(nil), sp.Voice...)
+	sp.Data = append(Curve(nil), sp.Data...)
+	sp.HomeCellular = append(Curve(nil), sp.HomeCellular...)
+	sp.Throttle = append(Curve(nil), sp.Throttle...)
+	if sp.RelaxBonus != nil {
+		m := make(map[string]float64, len(sp.RelaxBonus))
+		for k, v := range sp.RelaxBonus {
+			m[k] = v
+		}
+		sp.RelaxBonus = m
+	}
+	if sp.CaseCurve != nil {
+		cc := *sp.CaseCurve
+		sp.CaseCurve = &cc
+	}
+	return sp
+}
+
+// LoadSpec resolves a -scenario flag value: a registry name, or a path
+// to a JSON spec file (anything containing a path separator or ending
+// in .json).
+func LoadSpec(nameOrPath string) (Spec, error) {
+	if strings.ContainsAny(nameOrPath, `/\`) || strings.HasSuffix(nameOrPath, ".json") {
+		return ReadFile(nameOrPath)
+	}
+	if sp, ok := Get(nameOrPath); ok {
+		return sp, nil
+	}
+	names := Names()
+	sort.Strings(names)
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (built-ins: %s; or pass a .json spec file)",
+		nameOrPath, strings.Join(names, ", "))
+}
+
+// Load resolves a registry name or spec file straight to a compiled
+// pandemic.Scenario.
+func Load(nameOrPath string) (*pandemic.Scenario, error) {
+	sp, err := LoadSpec(nameOrPath)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Scenario()
+}

@@ -25,7 +25,7 @@ func fixture(t *testing.T) (*popsim.Population, *mobsim.Simulator, *Generator) {
 	fixOnce.Do(func() {
 		m := census.BuildUK(1)
 		topo := radio.Build(m, radio.DefaultConfig(), 1)
-		fixPop = popsim.Synthesize(m, topo, pandemic.Default(), popsim.Config{
+		fixPop = popsim.Synthesize(m, topo, popsim.Config{
 			Seed: 1, TargetUsers: 1500, M2MFraction: 0.1, RoamerFraction: 0.05,
 		})
 		fixSim = mobsim.New(fixPop, pandemic.Default(), 1)

@@ -30,4 +30,11 @@
 // Backpressure is bounded channels end to end: a SimSource keeps at most
 // Workers+Buffer days in flight, and the engine finishes every shard of
 // day d before merging it and pulling day d+1.
+//
+// Engines and sources are one-run objects, but cheap ones: everything
+// expensive (the census, topology and population behind a SimSource's
+// simulator) lives in the scenario-independent experiments.World, so a
+// scenario sweep (experiments.RunSweep, cmd/mnosweep) runs one engine +
+// source pair per scenario over the same shared world, each run
+// recycling its own day buffers through DayBatch.Release.
 package stream

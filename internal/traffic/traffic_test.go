@@ -25,7 +25,7 @@ func fixture(t *testing.T) (*popsim.Population, *mobsim.Simulator, *Engine) {
 	fixOnce.Do(func() {
 		m := census.BuildUK(1)
 		topo := radio.Build(m, radio.DefaultConfig(), 1)
-		fixPop = popsim.Synthesize(m, topo, pandemic.Default(), popsim.Config{
+		fixPop = popsim.Synthesize(m, topo, popsim.Config{
 			Seed: 1, TargetUsers: 2500,
 		})
 		fixSim = mobsim.New(fixPop, pandemic.Default(), 1)
@@ -211,7 +211,7 @@ func TestThroughputThrottled(t *testing.T) {
 func TestNullScenarioIsFlat(t *testing.T) {
 	m := census.BuildUK(2)
 	topo := radio.Build(m, radio.DefaultConfig(), 2)
-	pop := popsim.Synthesize(m, topo, pandemic.NoPandemic(), popsim.Config{Seed: 2, TargetUsers: 1200})
+	pop := popsim.Synthesize(m, topo, popsim.Config{Seed: 2, TargetUsers: 1200})
 	sim := mobsim.New(pop, pandemic.NoPandemic(), 2)
 	eng := NewEngine(pop, pandemic.NoPandemic(), DefaultParams(), 2)
 	sum := func(day timegrid.SimDay, metric Metric) float64 {
@@ -276,7 +276,7 @@ func TestInactiveTowersExcluded(t *testing.T) {
 	cfg := radio.DefaultConfig()
 	cfg.NewSiteFraction = 0.5 // half the estate activates mid-window
 	topo := radio.Build(m, cfg, 5)
-	pop := popsim.Synthesize(m, topo, pandemic.Default(), popsim.Config{Seed: 5, TargetUsers: 800})
+	pop := popsim.Synthesize(m, topo, popsim.Config{Seed: 5, TargetUsers: 800})
 	sim := mobsim.New(pop, pandemic.Default(), 5)
 	eng := NewEngine(pop, pandemic.Default(), DefaultParams(), 5)
 	early := eng.Day(0, sim.Day(0))

@@ -7,9 +7,19 @@
 #   scripts/bench.sh [output-dir]          # default output-dir: repo root
 #   BENCHTIME=5x scripts/bench.sh          # longer runs for stable numbers
 #   BENCH='SimDay' scripts/bench.sh        # restrict the benchmark set
+#   BENCH_ALLOW_DIRTY=1 scripts/bench.sh   # measure an uncommitted tree
+#                                          # (snapshot marked -dirty, never
+#                                          # to be committed)
 #
 # The default set covers the per-day hot path (simulation, KPI engine,
 # §2.3 metrics) and the end-to-end serial/streaming pipelines.
+#
+# Snapshots are named BENCH_<sha>.json after the commit they measure, so
+# the script refuses to run on a dirty tree: numbers measured on
+# uncommitted code attributed to a clean HEAD sha poison the perf
+# trajectory. Set BENCH_ALLOW_DIRTY=1 for local experiments — the
+# snapshot is then suffixed -dirty, which .gitignore keeps out of the
+# repository. See PERFORMANCE.md ("Snapshot hygiene").
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,7 +27,14 @@ out_dir="${1:-.}"
 sha=$(git rev-parse --short HEAD 2>/dev/null || echo nogit)
 # Label snapshots of an uncommitted tree honestly: numbers measured on a
 # dirty checkout must not be attributed to the clean HEAD commit.
-if [ "$sha" != nogit ] && ! git diff --quiet HEAD 2>/dev/null; then
+# `git status --porcelain` also catches untracked sources, which
+# `git diff HEAD` would miss.
+if [ "$sha" != nogit ] && [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+  if [ "${BENCH_ALLOW_DIRTY:-0}" != 1 ]; then
+    echo "bench.sh: working tree is dirty; commit (or stash) first, or set" >&2
+    echo "BENCH_ALLOW_DIRTY=1 for a local -dirty snapshot (never commit those)." >&2
+    exit 1
+  fi
   sha="${sha}-dirty"
 fi
 benchtime="${BENCHTIME:-1x}"
