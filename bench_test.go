@@ -23,6 +23,7 @@ import (
 	"repro/internal/popsim"
 	"repro/internal/radio"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/signaling"
 	"repro/internal/stream"
 	"repro/internal/timegrid"
@@ -511,6 +512,78 @@ func BenchmarkStreamSimSource(b *testing.B) {
 		}
 	}
 }
+
+// --- sweep benchmarks --------------------------------------------------------
+
+var (
+	sweepBenchOnce  sync.Once
+	sweepBenchWorld *experiments.World
+	sweepBenchCfg   experiments.Config
+	sweepBenchScens []experiments.SweepScenario
+)
+
+// sweepBenchFixture builds one shared 1000-user world (KPI enabled) and
+// a 4-scenario registry set, and warms the world's cached February
+// home-detection pass so every sweep benchmark measures only the study
+// passes.
+func sweepBenchFixture(b *testing.B) (*experiments.World, experiments.Config, []experiments.SweepScenario) {
+	b.Helper()
+	sweepBenchOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		cfg.TargetUsers = 1000
+		sweepBenchCfg = cfg
+		sweepBenchWorld = experiments.NewWorld(cfg)
+		sweepBenchWorld.Homes()
+		for _, name := range []string{
+			scenario.DefaultCovid, scenario.NoPandemic, scenario.EarlyLockdown, scenario.VoiceSurge,
+		} {
+			s, err := scenario.Load(name)
+			if err != nil {
+				panic(err)
+			}
+			sweepBenchScens = append(sweepBenchScens, experiments.SweepScenario{Name: name, Scenario: s})
+		}
+	})
+	return sweepBenchWorld, sweepBenchCfg, sweepBenchScens
+}
+
+// BenchmarkSweepSerial is the serial baseline of the sweep executor:
+// four full-KPI scenario runs, one after another, over the one shared
+// world.
+func BenchmarkSweepSerial(b *testing.B) {
+	w, cfg, scens := sweepBenchFixture(b)
+	scfg := stream.Config{Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if runs := experiments.RunSweep(w, cfg, scfg, scens); len(runs) != len(scens) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// benchmarkSweepParallel runs the same sweep concurrently. Output is
+// bit-identical to BenchmarkSweepSerial (asserted by the parity tests);
+// what varies is wall clock, which on multi-core hardware should
+// approach serial/min(parallel, cores, scenarios). Each scenario run is
+// kept single-worker so the comparison isolates the outer parallelism.
+func benchmarkSweepParallel(b *testing.B, parallel int) {
+	w, cfg, scens := sweepBenchFixture(b)
+	scfg := stream.Config{Workers: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if runs := experiments.RunSweepParallel(w, cfg, scfg, scens, parallel); len(runs) != len(scens) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+// BenchmarkSweepParallel is the headline parallel-sweep benchmark at
+// two concurrent scenario runs (fixed, not GOMAXPROCS, so the
+// concurrent path is exercised even on a single-core runner).
+func BenchmarkSweepParallel(b *testing.B)  { benchmarkSweepParallel(b, 2) }
+func BenchmarkSweepParallel4(b *testing.B) { benchmarkSweepParallel(b, 4) }
 
 // BenchmarkQSketch measures the streaming quantile sketch hot path.
 func BenchmarkQSketch(b *testing.B) {

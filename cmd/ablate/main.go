@@ -60,10 +60,12 @@ func main() {
 	run("offload", ablateOffload)
 }
 
-// ablateScenario compares counterfactual timelines on the sweep runner:
-// the shared world, each scenario streamed through the engine, and the
-// headline statistics extracted by experiments.Headlines instead of
-// hand-rolled series math.
+// ablateScenario compares counterfactual timelines on the parallel
+// sweep runner: the shared world, up to two scenarios in flight at a
+// time (each streaming run kept single-worker so the goroutine budget
+// stays bounded), the headline statistics extracted by
+// experiments.Headlines, and every timeline differenced against the
+// no-pandemic baseline.
 func ablateScenario(w *experiments.World) {
 	cfg := experiments.DefaultConfig()
 	cfg.SkipKPI = true
@@ -76,11 +78,26 @@ func ablateScenario(w *experiments.World) {
 		}
 		scens = append(scens, experiments.SweepScenario{Name: name, Scenario: s})
 	}
-	for _, run := range experiments.RunSweep(w, cfg, stream.Config{}, scens) {
+	runs := experiments.RunSweepParallel(w, cfg, stream.Config{Workers: 1}, scens, 2)
+	for _, run := range runs {
 		for _, h := range run.Headlines {
 			if h.Name == "gyration trough Δ%" {
 				fmt.Printf("  %-22s gyration trough %+.1f%%\n", run.Name, h.Value)
 			}
+		}
+	}
+	delta, err := experiments.DeltaTable(runs, scenario.NoPandemic)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	for _, label := range []string{"gyration mean Δ%", "gyration trough shift (days)"} {
+		if row, ok := delta.Row(label); ok {
+			fmt.Printf("  vs %s: %s:", scenario.NoPandemic, label)
+			for i, name := range delta.ColNames {
+				fmt.Printf(" %s %+.1f", name, row.Values[i])
+			}
+			fmt.Println()
 		}
 	}
 }

@@ -9,15 +9,24 @@
 // files (the SCENARIOS.md schema); "all" expands to every registry
 // built-in.
 //
+// -parallel N executes up to N scenario runs concurrently
+// (experiments.RunSweepParallel): output is bit-identical to the serial
+// sweep, re-sequenced to the input order. A parallel sweep usually
+// wants -workers 1, since each concurrent run drives its own streaming
+// engine. -baseline NAME additionally prints a differential table —
+// every scenario's per-day KPI and mobility series against the named
+// run: absolute and percent mean deltas plus trough/peak day shifts.
+//
 //	mnosweep -list                  # show the registry
 //	mnosweep                        # default-covid vs no-pandemic vs early-lockdown
 //	mnosweep -scenarios all -users 2000
 //	mnosweep -scenarios default-covid,./my-scenario.json
+//	mnosweep -scenarios all -parallel 4 -workers 1 -baseline no-pandemic
 //
 // Usage:
 //
 //	mnosweep [-list] [-scenarios NAMES|all] [-users N] [-seed S] [-nokpi]
-//	         [-workers W] [-shards K]
+//	         [-workers W] [-shards K] [-parallel P] [-baseline NAME]
 package main
 
 import (
@@ -36,13 +45,15 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list the built-in scenario registry and exit")
-		names   = flag.String("scenarios", "default-covid,no-pandemic,early-lockdown", "comma-separated registry names and/or JSON spec files; \"all\" runs every built-in")
-		users   = flag.Int("users", 4000, "synthetic native smartphone users")
-		seed    = flag.Uint64("seed", 42, "master random seed (shared by every scenario: paired draws)")
-		noKPI   = flag.Bool("nokpi", false, "skip the traffic engine (mobility headlines only, ~3× faster)")
-		workers = flag.Int("workers", 0, "worker goroutines per run (0: GOMAXPROCS)")
-		shards  = flag.Int("shards", 0, "logical shards (0: default)")
+		list     = flag.Bool("list", false, "list the built-in scenario registry and exit")
+		names    = flag.String("scenarios", "default-covid,no-pandemic,early-lockdown", "comma-separated registry names and/or JSON spec files; \"all\" runs every built-in")
+		users    = flag.Int("users", 4000, "synthetic native smartphone users")
+		seed     = flag.Uint64("seed", 42, "master random seed (shared by every scenario: paired draws)")
+		noKPI    = flag.Bool("nokpi", false, "skip the traffic engine (mobility headlines only, ~3× faster)")
+		workers  = flag.Int("workers", 0, "worker goroutines per run (0: GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "logical shards (0: default)")
+		parallel = flag.Int("parallel", 1, "concurrent scenario runs (1: serial; output is identical either way)")
+		baseline = flag.String("baseline", "", "scenario name to difference every other run against (prints the delta table)")
 	)
 	flag.Parse()
 
@@ -50,7 +61,7 @@ func main() {
 		printRegistry()
 		return
 	}
-	if err := run(*names, *users, *seed, *noKPI, *workers, *shards); err != nil {
+	if err := run(*names, *users, *seed, *noKPI, *workers, *shards, *parallel, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "mnosweep:", err)
 		os.Exit(1)
 	}
@@ -98,10 +109,24 @@ func resolve(names string) ([]experiments.SweepScenario, error) {
 	return out, nil
 }
 
-func run(names string, users int, seed uint64, noKPI bool, workers, shards int) error {
+func run(names string, users int, seed uint64, noKPI bool, workers, shards, parallel int, baseline string) error {
 	scens, err := resolve(names)
 	if err != nil {
 		return err
+	}
+	// Validate the baseline before the sweep runs, not after: a typo'd
+	// name must not cost a full multi-scenario run only to fail at the
+	// delta table.
+	if baseline != "" {
+		found := false
+		labels := make([]string, len(scens))
+		for i, sc := range scens {
+			labels[i] = sc.Name
+			found = found || sc.Name == baseline
+		}
+		if !found {
+			return fmt.Errorf("baseline %q is not part of the sweep %v", baseline, labels)
+		}
 	}
 	cfg := experiments.DefaultConfig()
 	cfg.TargetUsers = users
@@ -111,13 +136,20 @@ func run(names string, users int, seed uint64, noKPI bool, workers, shards int) 
 
 	start := time.Now()
 	world := experiments.NewWorld(cfg)
-	fmt.Fprintf(os.Stderr, "world built in %v (%d users); sweeping %d scenarios\n",
-		time.Since(start).Round(time.Millisecond), users, len(scens))
+	fmt.Fprintf(os.Stderr, "world built in %v (%d users); sweeping %d scenarios (parallel %d)\n",
+		time.Since(start).Round(time.Millisecond), users, len(scens), parallel)
 
-	runs := experiments.RunSweep(world, cfg, scfg, scens)
+	runs := experiments.RunSweepParallel(world, cfg, scfg, scens, parallel)
 	table := experiments.SweepTable(runs)
 	table.Title = fmt.Sprintf("scenario sweep (%d users, seed %d)", users, seed)
 	report.WriteMarkdownTable(os.Stdout, &table)
+	if baseline != "" {
+		delta, err := experiments.DeltaTable(runs, baseline)
+		if err != nil {
+			return err
+		}
+		report.WriteMarkdownTable(os.Stdout, &delta)
+	}
 	fmt.Fprintf(os.Stderr, "sweep done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

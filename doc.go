@@ -35,8 +35,11 @@
 //   - cmd/mnostream: stream a feed directory — or the simulator inline,
 //     under any -scenario — through the engine and emit rolling daily
 //     KPI/mobility summaries (-workers / -shards).
-//   - cmd/mnosweep: run a scenario set over one shared world and print
-//     the headline comparison table (-list shows the registry).
+//   - cmd/mnosweep: run a scenario set over one shared world — serially
+//     or with -parallel N concurrent runs (bit-identical output) — and
+//     print the headline comparison table plus, with -baseline NAME,
+//     the per-series delta table against that run (-list shows the
+//     registry).
 //   - cmd/analyze, cmd/ablate, cmd/calibrate, cmd/mobilityrpt: ad-hoc
 //     analysis, ablation sweeps (scenario ablation rides the sweep
 //     runner), calibration and mobility reports.

@@ -9,8 +9,8 @@ import (
 // Headline is one summary statistic of a run, used when comparing
 // scenarios (counterfactual timelines, parameter sweeps).
 type Headline struct {
-	Name  string
-	Value float64
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
 }
 
 // Headlines extracts the run's headline statistics: the troughs, peaks

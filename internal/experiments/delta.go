@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+)
+
+// SeriesDelta is the differential summary of one per-day series of a
+// scenario run against the same series of the sweep's baseline run.
+type SeriesDelta struct {
+	Series string
+	// MeanDelta is mean(run) − mean(baseline) in the series' own units.
+	MeanDelta float64
+	// MeanPct is the delta-variation percentage of the run's mean
+	// against the baseline's mean.
+	MeanPct float64
+	// TroughShiftDays is argmin(run) − argmin(baseline): by how many
+	// days the scenario moves the series' lowest day. PeakShiftDays is
+	// the argmax counterpart.
+	TroughShiftDays int
+	PeakShiftDays   int
+}
+
+// SweepSeries extracts a run's per-day comparison series under stable
+// names: the two national mobility metrics, every KPI metric the run
+// carries, and the Inner-London home presence when the cohort is
+// non-empty. These are the series the delta analytics difference
+// against a baseline scenario.
+func SweepSeries(r *Results) []stats.Series {
+	out := []stats.Series{
+		named("gyration", r.Mobility.NationalSeries(core.MetricGyration)),
+		named("entropy", r.Mobility.NationalSeries(core.MetricEntropy)),
+	}
+	if r.KPI != nil {
+		for _, m := range traffic.Metrics() {
+			out = append(out, named(m.String(), r.KPI.NationalSeries(m)))
+		}
+	}
+	if r.Matrix != nil && r.Matrix.CohortSize() > 0 {
+		out = append(out, named("Inner London home presence", r.Matrix.HomePresenceSeries()))
+	}
+	return out
+}
+
+func named(name string, s stats.Series) stats.Series {
+	s.Label = name
+	return s
+}
+
+// DeltaSeries differences every shared per-day series of run against
+// base. Series present in only one of the two runs (e.g. KPI series
+// against a mobility-only baseline) are skipped.
+func DeltaSeries(run, base *Results) []SeriesDelta {
+	baseByName := map[string]stats.Series{}
+	for _, s := range SweepSeries(base) {
+		baseByName[s.Label] = s
+	}
+	var out []SeriesDelta
+	for _, s := range SweepSeries(run) {
+		b, ok := baseByName[s.Label]
+		if !ok || s.Len() == 0 || b.Len() == 0 {
+			continue
+		}
+		rm, bm := stats.Mean(s.Values), stats.Mean(b.Values)
+		_, rTrough := s.Min()
+		_, bTrough := b.Min()
+		_, rPeak := s.Max()
+		_, bPeak := b.Max()
+		out = append(out, SeriesDelta{
+			Series:          s.Label,
+			MeanDelta:       rm - bm,
+			MeanPct:         stats.DeltaPercent(rm, bm),
+			TroughShiftDays: rTrough - bTrough,
+			PeakShiftDays:   rPeak - bPeak,
+		})
+	}
+	return out
+}
+
+// DeltaHeadlines flattens DeltaSeries into headline rows, four per
+// series, for tabulation alongside the absolute headline statistics.
+func DeltaHeadlines(run, base *Results) []Headline {
+	var out []Headline
+	for _, d := range DeltaSeries(run, base) {
+		out = append(out,
+			Headline{d.Series + " mean Δ", d.MeanDelta},
+			Headline{d.Series + " mean Δ%", d.MeanPct},
+			Headline{d.Series + " trough shift (days)", float64(d.TroughShiftDays)},
+			Headline{d.Series + " peak shift (days)", float64(d.PeakShiftDays)},
+		)
+	}
+	return out
+}
+
+// DeltaTable tabulates a sweep differentially: every scenario's per-day
+// KPI and mobility series against the named baseline run, one column
+// per non-baseline scenario and four rows (absolute mean delta, percent
+// delta, trough and peak day shifts) per shared series. The baseline
+// must be one of the sweep's run names; rows are kept only when every
+// compared run shares the series, mirroring SweepTable.
+func DeltaTable(runs []SweepRun, baseline string) (stats.Table, error) {
+	var base *SweepRun
+	for i := range runs {
+		if runs[i].Name == baseline {
+			base = &runs[i]
+			break
+		}
+	}
+	if base == nil {
+		names := make([]string, len(runs))
+		for i, r := range runs {
+			names[i] = r.Name
+		}
+		return stats.Table{}, fmt.Errorf("experiments: baseline scenario %q is not part of the sweep %v", baseline, names)
+	}
+
+	t := stats.Table{Title: "scenario deltas vs " + baseline}
+	var deltas [][]Headline
+	for i := range runs {
+		if runs[i].Name == baseline {
+			continue
+		}
+		t.ColNames = append(t.ColNames, runs[i].Name)
+		deltas = append(deltas, DeltaHeadlines(runs[i].Results, base.Results))
+	}
+	if len(deltas) == 0 {
+		return t, nil
+	}
+	byName := make([]map[string]float64, len(deltas))
+	for i, hs := range deltas {
+		byName[i] = make(map[string]float64, len(hs))
+		for _, h := range hs {
+			byName[i][h.Name] = h.Value
+		}
+	}
+	for _, h := range deltas[0] {
+		row := make([]float64, len(deltas))
+		ok := true
+		for i := range deltas {
+			v, has := byName[i][h.Name]
+			if !has {
+				ok = false
+				break
+			}
+			row[i] = v
+		}
+		if ok {
+			t.AddRow(h.Name, row)
+		}
+	}
+	return t, nil
+}

@@ -43,6 +43,18 @@ func RunStreamingOn(d *Dataset, scfg stream.Config) *Results {
 // homes — February traces are scenario-invariant, so re-detecting per
 // scenario would only repeat identical work.
 func runStreamingStudy(d *Dataset, scfg stream.Config, detected map[popsim.UserID]core.Home) *Results {
+	return runStreamingStudyWith(d, scfg, detected, nil)
+}
+
+// runStreamingStudyWith is runStreamingStudy drawing reusable state from
+// a sweep worker when one is given: the sharded mobility/matrix stages
+// are reset instead of re-allocated (keeping their per-shard mergers and
+// day buffers warm) and day production recycles through the worker's
+// shared BufferPool, so consecutive scenario runs on one worker stay at
+// the PR 2 zero-alloc steady state. All reused state is scratch —
+// nothing in it influences the computed aggregates — so results are
+// bit-identical to the unpooled path.
+func runStreamingStudyWith(d *Dataset, scfg stream.Config, detected map[popsim.UserID]core.Home, ws *sweepWorker) *Results {
 	scfg = scfg.WithDefaults()
 	cfg := d.Config
 	r := &Results{Dataset: d, Homes: detected}
@@ -62,14 +74,15 @@ func runStreamingStudy(d *Dataset, scfg stream.Config, detected map[popsim.UserI
 	// Pass 2: the study window, with sharded mobility/matrix stages and
 	// the exact KPI analyzer in the merge stage.
 	study := stream.NewEngine(scfg)
-	study.AddTraceSharder(stream.NewMobility(r.Mobility, scfg.Shards))
-	study.AddTraceSharder(stream.NewMatrix(r.Matrix, scfg.Shards))
+	study.AddTraceSharder(ws.mobility(r.Mobility, scfg.Shards))
+	study.AddTraceSharder(ws.matrix(r.Matrix, scfg.Shards))
 	kpiEngine := d.Engine
 	if kpiEngine != nil {
 		r.KPI = core.NewKPIAnalyzer(d.Topology)
 		study.AddKPIConsumer(r.KPI)
 	}
-	studySrc := stream.NewSimSource(d.Sim, kpiEngine, timegrid.SimDay(timegrid.StudyDayOffset), timegrid.SimDays, scfg)
+	studySrc := stream.NewSimSourcePooled(d.Sim, kpiEngine,
+		timegrid.SimDay(timegrid.StudyDayOffset), timegrid.SimDays, scfg, ws.bufferPool())
 	_ = study.Run(studySrc)
 	return r
 }

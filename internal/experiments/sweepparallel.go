@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/traffic"
+)
+
+// sweepWorker is the reusable per-worker state of a parallel sweep: a
+// shared day-buffer recycle pool, the resettable sharded consumer
+// wrappers and the rebindable KPI engine. Everything in it is scratch —
+// reused allocations whose contents are rebuilt every run — so carrying
+// it across scenario runs changes nothing about the results, only the
+// allocation profile: after a worker's first scenario, later scenarios
+// run on warm buffers, mergers and tower accumulators.
+//
+// A nil *sweepWorker is valid and means "no reuse": every accessor then
+// falls back to fresh construction, which is how the single-run
+// streaming path uses runStreamingStudyWith.
+type sweepWorker struct {
+	pool *stream.BufferPool
+	mob  *stream.Mobility
+	mat  *stream.Matrix
+	eng  *traffic.Engine
+}
+
+// newSweepWorker sizes the worker's buffer pool to one run's in-flight
+// window so the steady state never falls back to allocation.
+func newSweepWorker(scfg stream.Config) *sweepWorker {
+	scfg = scfg.WithDefaults()
+	return &sweepWorker{pool: stream.NewBufferPool(scfg.Workers + scfg.Buffer)}
+}
+
+// bufferPool returns the worker's shared pool, or nil (private pool per
+// source) without a worker.
+func (ws *sweepWorker) bufferPool() *stream.BufferPool {
+	if ws == nil {
+		return nil
+	}
+	return ws.pool
+}
+
+// mobility returns a sharded mobility stage bound to a, reusing the
+// worker's wrapper when it has one.
+func (ws *sweepWorker) mobility(a *core.MobilityAnalyzer, shards int) *stream.Mobility {
+	if ws == nil {
+		return stream.NewMobility(a, shards)
+	}
+	if ws.mob == nil {
+		ws.mob = stream.NewMobility(a, shards)
+		return ws.mob
+	}
+	return ws.mob.Reset(a)
+}
+
+// matrix returns a sharded matrix stage bound to m, reusing the
+// worker's wrapper when it has one.
+func (ws *sweepWorker) matrix(m *core.MobilityMatrix, shards int) *stream.Matrix {
+	if ws == nil {
+		return stream.NewMatrix(m, shards)
+	}
+	if ws.mat == nil {
+		ws.mat = stream.NewMatrix(m, shards)
+		return ws.mat
+	}
+	return ws.mat.Reset(m)
+}
+
+// instantiate binds a scenario stack for the worker's next run, reusing
+// (rebinding) the worker's traffic engine when it has one.
+func (ws *sweepWorker) instantiate(w *World, cfg Config) *Dataset {
+	if ws == nil {
+		return w.Instantiate(cfg)
+	}
+	d := w.instantiate(cfg, ws.eng)
+	ws.eng = d.Engine
+	return d
+}
+
+// RunSweepParallel is RunSweep executing the scenario stacks
+// concurrently: up to parallel workers claim scenarios from the input
+// order, each running the full streaming study over the one shared
+// immutable World. Results land in index-addressed slots, so the output
+// is re-sequenced to the input order deterministically — and because
+// every scenario run is itself deterministic in (world, seed, scenario)
+// and shares only immutable state (the World, the cached February
+// homes), the output is bit-identical to serial RunSweep at any worker
+// count (asserted by TestParallelSweepMatchesSerial under -race).
+//
+// Each worker owns a sweepWorker: a day-buffer pool, resettable sharded
+// consumer stages and a rebindable KPI engine threaded through its
+// consecutive runs, so the per-scenario steady state stays at the PR 2
+// zero-allocation profile instead of paying a fresh warm-up per
+// scenario. This is the capacity–computation trade of the sweep: bounded
+// per-worker memory (one in-flight window of day buffers each) buys
+// concurrent recomputation over the world we refuse to rebuild.
+//
+// One observable difference from the serial runner: the returned
+// Results carry no live traffic engine (Results.Dataset.Engine is nil)
+// — engines are per-worker scratch rebound from scenario to scenario,
+// so exporting one would alias every run of a worker to its last
+// scenario. The analyzers (Results.KPI included) are complete either
+// way; callers that want to replay KPI generation for one run should
+// Instantiate a fresh stack for that scenario.
+//
+// parallel <= 1 (or a single scenario) degrades to the serial runner.
+// Note the total goroutine budget multiplies: each of the parallel
+// scenario runs drives its own streaming engine with scfg.Workers
+// workers, so sweeps that set parallel > 1 usually want scfg.Workers =
+// 1 (see PERFORMANCE.md, "Parallel sweeps").
+func RunSweepParallel(w *World, cfg Config, scfg stream.Config, scens []SweepScenario, parallel int) []SweepRun {
+	if parallel > len(scens) {
+		parallel = len(scens)
+	}
+	if parallel <= 1 || len(scens) <= 1 {
+		return RunSweep(w, cfg, scfg, scens)
+	}
+
+	// The February pass is world-cached and scenario-invariant; force it
+	// before the fan-out so no worker repeats it (sync.Once would serialize
+	// them against each other anyway — this just makes the cost visible in
+	// one place).
+	homes := w.Homes()
+
+	out := make([]SweepRun, len(scens))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < parallel; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := newSweepWorker(scfg)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(scens) {
+					return
+				}
+				c := cfg
+				c.Scenario = scens[i].Scenario
+				r := runStreamingStudyWith(ws.instantiate(w, c), scfg, homes, ws)
+				// Detach the worker's shared engine from the stored
+				// stack: it is about to be rebound to the worker's next
+				// scenario, so leaving it on the Dataset would hand
+				// every run an engine bound to whichever scenario its
+				// worker finished last (and share one scratch across
+				// runs). Callers replaying KPI from a sweep result
+				// should Instantiate a fresh stack for that run.
+				r.Dataset.Engine = nil
+				out[i] = SweepRun{Name: scens[i].Name, Results: r, Headlines: Headlines(r)}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -101,6 +101,16 @@ func NewWorld(cfg Config) *World {
 // TargetUsers, PopPerTower) are overwritten with the world's own values
 // so the Dataset's Config always reflects the stack it runs on.
 func (w *World) Instantiate(cfg Config) *Dataset {
+	return w.instantiate(cfg, nil)
+}
+
+// instantiate is Instantiate with an optional traffic engine to reuse:
+// when non-nil (and KPI is enabled), the engine — built earlier on this
+// same world and seed — is rebound to the new scenario instead of
+// constructing a fresh one, keeping its warm scratch. Rebind preserves
+// bit-identity with NewEngine (see traffic.Engine.Rebind), so sweep
+// workers thread their engine through consecutive scenario runs.
+func (w *World) instantiate(cfg Config, reuse *traffic.Engine) *Dataset {
 	if cfg.TopN == 0 {
 		cfg.TopN = core.DefaultTopN
 	}
@@ -121,7 +131,11 @@ func (w *World) Instantiate(cfg Config) *Dataset {
 		Sim:      mobsim.New(w.Pop, scen, cfg.Seed),
 	}
 	if !cfg.SkipKPI {
-		d.Engine = traffic.NewEngine(w.Pop, scen, traffic.DefaultParams(), cfg.Seed)
+		if reuse != nil {
+			d.Engine = reuse.Rebind(scen)
+		} else {
+			d.Engine = traffic.NewEngine(w.Pop, scen, traffic.DefaultParams(), cfg.Seed)
+		}
 	}
 	return d
 }

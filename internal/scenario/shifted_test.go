@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// maxShift bounds the shift magnitude of the property tests; random
+// anchors are kept in [maxShift, lastStudyDay−maxShift] so a single
+// shift never pushes them out of the study window (where Shifted
+// intentionally drops them and the round trip loses information).
+const maxShift = 18
+
+// randomCurve draws a strictly increasing anchor curve confined to the
+// shift-safe interior of the study window.
+func randomCurve(rnd *rand.Rand) Curve {
+	n := 2 + rnd.Intn(5)
+	days := make([]float64, 0, n)
+	seen := map[float64]bool{}
+	for len(days) < n {
+		d := maxShift + rnd.Float64()*(lastStudyDay-2*maxShift)
+		d = math.Round(d*4) / 4 // quarter-day grid keeps days distinct
+		if !seen[d] {
+			seen[d] = true
+			days = append(days, d)
+		}
+	}
+	sort.Float64s(days)
+	c := make(Curve, n)
+	for i, d := range days {
+		c[i] = Point{Day: d, Value: 0.1 + 3*rnd.Float64()}
+	}
+	return c
+}
+
+// randomSpec draws a spec with a random subset of curves, an optional
+// case curve and random non-timeline fields.
+func randomSpec(rnd *rand.Rand) Spec {
+	sp := Spec{Name: "prop", Relocation: rnd.Intn(2) == 0}
+	if rnd.Intn(4) > 0 {
+		sp.Activity = randomCurve(rnd)
+	}
+	if rnd.Intn(4) > 0 {
+		sp.Voice = randomCurve(rnd)
+	}
+	if rnd.Intn(2) == 0 {
+		sp.Data = randomCurve(rnd)
+	}
+	if rnd.Intn(2) == 0 {
+		sp.HomeCellular = randomCurve(rnd)
+	}
+	if rnd.Intn(2) == 0 {
+		sp.Throttle = randomCurve(rnd)
+	}
+	if rnd.Intn(2) == 0 {
+		sp.CaseCurve = &CaseCurve{
+			Plateau: 1e4 + 1e6*rnd.Float64(),
+			Growth:  0.05 + 0.3*rnd.Float64(),
+			MidDay:  maxShift + rnd.Float64()*(lastStudyDay-2*maxShift),
+		}
+	}
+	if rnd.Intn(3) == 0 {
+		sp.RelaxBonus = map[string]float64{"Inner London": 0.1 * rnd.Float64()}
+	}
+	return sp
+}
+
+// curvePairs enumerates the five shiftable curves of two specs.
+func curvePairs(a, b Spec) [][2]Curve {
+	return [][2]Curve{
+		{a.Activity, b.Activity},
+		{a.Voice, b.Voice},
+		{a.Data, b.Data},
+		{a.HomeCellular, b.HomeCellular},
+		{a.Throttle, b.Throttle},
+	}
+}
+
+// TestShiftedPropertyTranslatesAnchors asserts, for randomized specs
+// and shifts: every anchor of the original curve appears in the shifted
+// curve at exactly day+delta (the translated day is computed by the
+// same single float addition, so the comparison is bitwise) with its
+// value untouched, and the case-curve midpoint moves by exactly delta.
+func TestShiftedPropertyTranslatesAnchors(t *testing.T) {
+	rnd := rand.New(rand.NewSource(20260728))
+	for iter := 0; iter < 300; iter++ {
+		sp := randomSpec(rnd)
+		delta := (0.25 + rnd.Float64()*(maxShift-0.25)) * float64(1-2*rnd.Intn(2))
+		delta = math.Round(delta*4) / 4
+		shifted := Shifted(sp, delta)
+
+		for ci, pair := range curvePairs(sp, shifted) {
+			orig, next := pair[0], pair[1]
+			for _, p := range orig {
+				want := p.Day + delta
+				found := false
+				for _, q := range next {
+					if q.Day == want && q.Value == p.Value {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("iter %d curve %d delta %v: anchor (%v,%v) not translated to day %v in %v",
+						iter, ci, delta, p.Day, p.Value, want, next)
+				}
+			}
+		}
+		if sp.CaseCurve != nil {
+			if got, want := shifted.CaseCurve.MidDay, sp.CaseCurve.MidDay+delta; got != want {
+				t.Fatalf("iter %d: case midpoint %v, want %v", iter, got, want)
+			}
+			if shifted.CaseCurve == sp.CaseCurve {
+				t.Fatal("Shifted aliases the input's case curve")
+			}
+		}
+		// Non-timeline fields pass through untouched.
+		if shifted.Relocation != sp.Relocation {
+			t.Fatal("Shifted changed the relocation toggle")
+		}
+		for k, v := range sp.RelaxBonus {
+			if shifted.RelaxBonus[k] != v {
+				t.Fatal("Shifted changed a relax bonus")
+			}
+		}
+	}
+}
+
+// TestShiftedPropertyRoundTripIdentity asserts that shifting by d and
+// then by −d is the identity for randomized interior specs: interior
+// anchors are restored (values bit-identical, days within float
+// round-off of one add-subtract), and the composed curve evaluates
+// identically to the original across the whole study window — the
+// resampled boundary anchors Shifted inserts carry the clamped values,
+// so no information is lost while every anchor stays inside the window.
+func TestShiftedPropertyRoundTripIdentity(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	const tol = 1e-9
+	for iter := 0; iter < 300; iter++ {
+		sp := randomSpec(rnd)
+		delta := (0.25 + rnd.Float64()*(maxShift-0.25)) * float64(1-2*rnd.Intn(2))
+		back := Shifted(Shifted(sp, delta), -delta)
+
+		for ci, pair := range curvePairs(sp, back) {
+			orig, got := pair[0], pair[1]
+			// Interior anchors restored.
+			for _, p := range orig {
+				found := false
+				for _, q := range got {
+					if math.Abs(q.Day-p.Day) <= tol && q.Value == p.Value {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("iter %d curve %d delta %v: anchor (%v,%v) lost in round trip %v",
+						iter, ci, delta, p.Day, p.Value, got)
+				}
+			}
+			// Function identity over the window.
+			for d := 0.0; d <= lastStudyDay; d += 0.5 {
+				if diff := got.Eval(d) - orig.Eval(d); math.Abs(diff) > tol {
+					t.Fatalf("iter %d curve %d delta %v: Eval(%v) drifted by %v", iter, ci, delta, d, diff)
+				}
+			}
+		}
+		if sp.CaseCurve != nil {
+			if diff := back.CaseCurve.MidDay - sp.CaseCurve.MidDay; math.Abs(diff) > tol {
+				t.Fatalf("iter %d: case midpoint drifted by %v", iter, diff)
+			}
+		}
+	}
+}

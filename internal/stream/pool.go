@@ -1,0 +1,73 @@
+package stream
+
+import (
+	"sync/atomic"
+
+	"repro/internal/mobsim"
+	"repro/internal/traffic"
+)
+
+// BufferPool is a bounded, non-blocking free list of day-production
+// backing stores (a mobsim.DayBuffer plus a reusable CellDay slice) —
+// the PR 2 recycling machinery lifted out of SimSource so it can be
+// shared across sources. A pool owned by one sweep worker and passed to
+// every SimSource that worker creates keeps the steady state of a
+// multi-scenario sweep at zero day-buffer allocations per scenario:
+// the buffers warmed by the first scenario are reused by every later
+// one.
+//
+// Draws never block: when every pooled store is checked out (or
+// consumers never release), Get allocates a fresh store, so liveness
+// cannot depend on Release being called. Returns past the pool's
+// capacity are dropped to the GC.
+//
+// A pool is safe for concurrent use; a store, once drawn, belongs to
+// exactly one producer until its batch is released.
+type BufferPool struct {
+	free chan *dayStore
+}
+
+// dayStore is one recyclable backing store for a produced day.
+type dayStore struct {
+	buf   *mobsim.DayBuffer
+	cells []traffic.CellDay
+	// out is true while the store is checked out of the free list; the
+	// recycle hook swaps it back, so releasing a batch twice (e.g. via
+	// two copies of the DayBatch value) can never enqueue the store
+	// twice and hand one buffer to two workers.
+	out     atomic.Bool
+	recycle func() // returns the store to its pool's free list
+}
+
+// NewBufferPool builds a pool that retains at most capacity idle
+// stores. Sources size their private pools to their in-flight window
+// (workers + buffer); a shared pool should be at least that large to
+// stay allocation-free at the steady state.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{free: make(chan *dayStore, capacity)}
+}
+
+// get draws a store, reusing a pooled one when available.
+func (p *BufferPool) get() *dayStore {
+	select {
+	case r := <-p.free:
+		r.out.Store(true)
+		return r
+	default:
+	}
+	r := &dayStore{buf: mobsim.NewDayBuffer()}
+	r.recycle = func() {
+		if !r.out.CompareAndSwap(true, false) {
+			return // already recycled via another batch copy
+		}
+		select {
+		case p.free <- r:
+		default:
+		}
+	}
+	r.out.Store(true)
+	return r
+}

@@ -62,28 +62,33 @@ type Source interface {
 type SimSource struct {
 	out  chan DayBatch
 	done chan struct{}
-}
-
-// simDayRes is one recyclable backing store for a produced day.
-type simDayRes struct {
-	buf   *mobsim.DayBuffer
-	cells []traffic.CellDay
-	// out is true while the store is checked out of the free list; the
-	// recycle hook swaps it back, so releasing a batch twice (e.g. via
-	// two copies of the DayBatch value) can never enqueue the store
-	// twice and hand one buffer to two workers.
-	out     atomic.Bool
-	recycle func() // returns the store to the source's free list
+	pool *BufferPool
 }
 
 // NewSimSource streams days [first, limit). A nil engine skips KPI
 // generation (mobility-only runs). cfg sizes the worker pool and the
-// backpressure window.
+// backpressure window. The source recycles through a private
+// BufferPool; callers running several sources in sequence (scenario
+// sweeps) should use NewSimSourcePooled to share one warm pool across
+// them.
 func NewSimSource(sim *mobsim.Simulator, eng *traffic.Engine, first, limit timegrid.SimDay, cfg Config) *SimSource {
+	return NewSimSourcePooled(sim, eng, first, limit, cfg, nil)
+}
+
+// NewSimSourcePooled is NewSimSource drawing day-buffer backing stores
+// from the given pool instead of a private one; nil means private. The
+// pool may be shared with other sources, but only with sources whose
+// batches have all been released (or abandoned for good) — a store is
+// owned by one batch at a time.
+func NewSimSourcePooled(sim *mobsim.Simulator, eng *traffic.Engine, first, limit timegrid.SimDay, cfg Config, pool *BufferPool) *SimSource {
 	cfg = cfg.WithDefaults()
+	if pool == nil {
+		pool = NewBufferPool(cfg.Workers + cfg.Buffer)
+	}
 	s := &SimSource{
 		out:  make(chan DayBatch),
 		done: make(chan struct{}),
+		pool: pool,
 	}
 	go s.run(sim, eng, first, limit, cfg)
 	return s
@@ -118,32 +123,6 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 	results := make(chan DayBatch)
 	var next int64 = int64(first)
 
-	// free is the bounded recycle list. Draws never block: when the
-	// consumer holds every pooled store (or never releases), workers
-	// allocate a fresh one, so liveness cannot depend on Release being
-	// called. Returns past capacity are dropped to the GC.
-	free := make(chan *simDayRes, window)
-	getRes := func() *simDayRes {
-		select {
-		case r := <-free:
-			r.out.Store(true)
-			return r
-		default:
-		}
-		r := &simDayRes{buf: mobsim.NewDayBuffer()}
-		r.recycle = func() {
-			if !r.out.CompareAndSwap(true, false) {
-				return // already recycled via another batch copy
-			}
-			select {
-			case free <- r:
-			default:
-			}
-		}
-		r.out.Store(true)
-		return r
-	}
-
 	// Clone the per-worker engines before any worker starts: Clone
 	// snapshots the engine struct, which races with the scratch writes
 	// of a DayAppend already running on the original.
@@ -167,7 +146,7 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 					<-sem
 					return
 				}
-				res := getRes()
+				res := s.pool.get()
 				b := DayBatch{Day: day, Traces: sim.DayInto(res.buf, day), Recycle: res.recycle}
 				if eng != nil {
 					res.cells = eng.DayAppend(res.cells[:0], day, b.Traces)

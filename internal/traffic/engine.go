@@ -101,6 +101,20 @@ func (e *Engine) Clone() *Engine {
 	return &c
 }
 
+// Rebind swaps the engine's scenario in place and returns the receiver.
+// Everything else an engine precomputes at construction — the
+// subscriber scale, the interconnect dimensioning, the rural-tower
+// marks — is scenario-independent, and the scenario is only consulted
+// per day inside forEachCellHour, so a rebound engine produces records
+// bit-identical to NewEngine(pop, scen, params, seed) while keeping its
+// warm scratch (the per-tower hourly accumulators dominate an engine's
+// footprint). The engine must not be running a Day when rebound; sweep
+// workers rebind between scenario runs.
+func (e *Engine) Rebind(scen *pandemic.Scenario) *Engine {
+	e.scen = scen
+	return e
+}
+
 // InterconnectCapacity returns the interconnect voice capacity (agent
 // units, minutes per hour) in effect on the given simulated day.
 func (e *Engine) InterconnectCapacity(day timegrid.SimDay) float64 {

@@ -38,7 +38,7 @@ if [ "$sha" != nogit ] && [ -n "$(git status --porcelain 2>/dev/null)" ]; then
   sha="${sha}-dirty"
 fi
 benchtime="${BENCHTIME:-1x}"
-pattern="${BENCH:-SimDayInto|SimulateDay|EngineDay|DayMetrics|MergeVisits|RunStandardSerial|StreamWorkers1\$}"
+pattern="${BENCH:-SimDayInto|SimulateDay|EngineDay|DayMetrics|MergeVisits|RunStandardSerial|StreamWorkers1\$|SweepSerial|SweepParallel}"
 
 raw=$(go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem .)
 printf '%s\n' "$raw" >&2
