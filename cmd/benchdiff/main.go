@@ -1,0 +1,217 @@
+// Command benchdiff compares the two newest committed benchmark
+// snapshots (BENCH_<sha>.json, written by scripts/bench.sh) and prints
+// per-benchmark deltas: ns/op, B/op and allocs/op, oldest → newest.
+//
+// Benchmarks in the hot-path set (-hot) whose ns/op regressed by more
+// than -warn percent, or whose allocs/op rose, are flagged with a WARN
+// line; with -github the flag is also emitted as a `::warning::`
+// workflow command so CI annotates the run without failing it (the
+// exit status is 0 either way — snapshots from different runners are a
+// trajectory, not a gate; -fail turns warnings into exit 1 for local
+// use).
+//
+// Snapshots suffixed -dirty are ignored: their numbers are attributable
+// to no commit (see PERFORMANCE.md, "Snapshot hygiene").
+//
+// Usage:
+//
+//	benchdiff [-dir DIR] [-warn PCT] [-hot REGEX] [-github] [-fail]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// snapshot mirrors the JSON scripts/bench.sh emits.
+type snapshot struct {
+	Sha       string   `json:"sha"`
+	Date      string   `json:"date"`
+	Benchtime string   `json:"benchtime"`
+	Results   []result `json:"results"`
+
+	path  string
+	mtime int64
+}
+
+type result struct {
+	Name        string   `json:"name"`
+	NsPerOp     *float64 `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// defaultHot is the hot-path set the CI regression warning watches: the
+// per-day pipeline benchmarks whose trajectory the PRs optimize.
+const defaultHot = `SimDayInto|EngineDayAppend|DayMetricsMerger|MergeVisits`
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "directory holding BENCH_<sha>.json snapshots")
+		warn   = flag.Float64("warn", 10, "ns/op regression percent that triggers a warning (hot-path set only)")
+		hot    = flag.String("hot", defaultHot, "regexp of the hot-path benchmark set")
+		github = flag.Bool("github", false, "emit GitHub ::warning:: workflow commands for flagged regressions")
+		fail   = flag.Bool("fail", false, "exit 1 when a hot-path benchmark regresses past -warn")
+	)
+	flag.Parse()
+
+	if err := run(*dir, *warn, *hot, *github, *fail); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, warnPct float64, hotPattern string, github, fail bool) error {
+	hot, err := regexp.Compile(hotPattern)
+	if err != nil {
+		return fmt.Errorf("bad -hot pattern: %w", err)
+	}
+	snaps, err := loadSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	if len(snaps) < 2 {
+		fmt.Printf("benchdiff: %d committed snapshot(s) in %s — need two to diff; nothing to do\n", len(snaps), dir)
+		return nil
+	}
+	old, new := snaps[len(snaps)-2], snaps[len(snaps)-1]
+	fmt.Printf("benchmark deltas: %s (%s) → %s (%s)\n\n", old.Sha, old.Date, new.Sha, new.Date)
+	fmt.Printf("%-36s %14s %14s %8s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "allocs", "Δallocs")
+
+	oldBy := map[string]result{}
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	var warned int
+	for _, nr := range new.Results {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Printf("%-36s %14s %14s %8s %9s %9s\n", nr.Name, "-", num(nr.NsPerOp), "new", allocs(nr.AllocsPerOp), "-")
+			continue
+		}
+		dns := deltaPct(or.NsPerOp, nr.NsPerOp)
+		dal := deltaAbs(or.AllocsPerOp, nr.AllocsPerOp)
+		fmt.Printf("%-36s %14s %14s %8s %9s %9s\n",
+			nr.Name, num(or.NsPerOp), num(nr.NsPerOp), pct(dns), allocs(nr.AllocsPerOp), signed(dal))
+		if !hot.MatchString(nr.Name) {
+			continue
+		}
+		var msgs []string
+		if dns != nil && *dns > warnPct {
+			msgs = append(msgs, fmt.Sprintf("ns/op regressed %.1f%% (>%g%%)", *dns, warnPct))
+		}
+		if dal != nil && *dal > 0 {
+			msgs = append(msgs, fmt.Sprintf("allocs/op rose by %g", *dal))
+		}
+		if len(msgs) > 0 {
+			warned++
+			msg := fmt.Sprintf("%s: %s [%s → %s]", nr.Name, strings.Join(msgs, "; "), old.Sha, new.Sha)
+			fmt.Printf("WARN %s\n", msg)
+			if github {
+				fmt.Printf("::warning title=benchmark regression::%s\n", msg)
+			}
+		}
+	}
+	if warned > 0 {
+		fmt.Printf("\n%d hot-path regression(s) past the %g%% threshold — advisory only (cross-runner noise applies; see PERFORMANCE.md)\n", warned, warnPct)
+		if fail {
+			os.Exit(1)
+		}
+	}
+	return nil
+}
+
+// loadSnapshots reads every clean BENCH_*.json in dir, ordered by the
+// snapshot's own date stamp (RFC 3339 sorts lexically).
+func loadSnapshots(dir string) ([]snapshot, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	var snaps []snapshot
+	for _, p := range paths {
+		if strings.Contains(filepath.Base(p), "-dirty") {
+			continue
+		}
+		buf, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var s snapshot
+		if err := json.Unmarshal(buf, &s); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		s.path = p
+		if fi, err := os.Stat(p); err == nil {
+			s.mtime = fi.ModTime().UnixNano()
+		}
+		snaps = append(snaps, s)
+	}
+	// Date stamps have second resolution, so break ties by file mtime
+	// (then path, for determinism) rather than the glob's sha-lexical
+	// order, which says nothing about which snapshot is newer.
+	sort.SliceStable(snaps, func(i, j int) bool {
+		a, b := snaps[i], snaps[j]
+		if a.Date != b.Date {
+			return a.Date < b.Date
+		}
+		if a.mtime != b.mtime {
+			return a.mtime < b.mtime
+		}
+		return a.path < b.path
+	})
+	return snaps, nil
+}
+
+func deltaPct(old, new *float64) *float64 {
+	if old == nil || new == nil || *old == 0 {
+		return nil
+	}
+	d := (*new - *old) / *old * 100
+	return &d
+}
+
+func deltaAbs(old, new *float64) *float64 {
+	if old == nil || new == nil {
+		return nil
+	}
+	d := *new - *old
+	return &d
+}
+
+func num(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", *v)
+}
+
+func allocs(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%g", *v)
+}
+
+func pct(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", *v)
+}
+
+func signed(v *float64) string {
+	if v == nil {
+		return "-"
+	}
+	if *v == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%+g", *v)
+}

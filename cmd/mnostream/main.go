@@ -20,7 +20,10 @@
 // running shard tasks, -shards the logical partitions. Summaries do not
 // depend on -workers, and the figure-grade pipeline behind
 // experiments.RunStreaming is bit-identical to the serial pipeline at
-// any of these settings.
+// any of these settings. -engineshards additionally parallelizes the
+// KPI engine *within* each inline day (traffic.Engine.DayAppendSharded):
+// records stay a pure function of the stack and the shard count, but
+// differ from the serial engine in float association (≤1e-9 relative).
 //
 // In inline mode -scenario selects the behavioural scenario (a registry
 // name — see `mnosweep -list` — or a JSON spec file). In -feeds mode the
@@ -30,7 +33,8 @@
 // Usage:
 //
 //	mnostream [-feeds DIR] [-users N] [-seed S] [-scenario NAME|FILE.json]
-//	          [-workers W] [-shards K] [-days D] [-cpuprofile F] [-memprofile F]
+//	          [-workers W] [-shards K] [-engineshards E] [-days D]
+//	          [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -58,6 +62,7 @@ func main() {
 		scen       = flag.String("scenario", "", "behavioural scenario for inline mode: registry name or JSON spec file (empty: the calibrated default)")
 		workers    = flag.Int("workers", 0, "worker goroutines (0: GOMAXPROCS)")
 		shards     = flag.Int("shards", 0, "logical shards (0: default)")
+		engShards  = flag.Int("engineshards", 0, "intra-day KPI accumulation shards in inline mode (<=1: serial engine; sharded records differ from serial only in float association, <=1e-9 relative)")
 		days       = flag.Int("days", timegrid.SimDays, "days to stream in inline mode")
 		noSig      = flag.Bool("nosignaling", false, "skip control-plane generation in inline mode")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -66,7 +71,7 @@ func main() {
 	flag.Parse()
 
 	err := prof.Run(*cpuProfile, *memProfile, func() error {
-		return run(*feedDir, *users, *seed, *scen, *workers, *shards, *days, !*noSig)
+		return run(*feedDir, *users, *seed, *scen, *workers, *shards, *engShards, *days, !*noSig)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnostream:", err)
@@ -74,8 +79,8 @@ func main() {
 	}
 }
 
-func run(feedDir string, users int, seed uint64, scenName string, workers, shards, days int, withSignaling bool) error {
-	scfg := stream.Config{Workers: workers, Shards: shards}.WithDefaults()
+func run(feedDir string, users int, seed uint64, scenName string, workers, shards, engShards, days int, withSignaling bool) error {
+	scfg := stream.Config{Workers: workers, Shards: shards, EngineShards: engShards}.WithDefaults()
 
 	cfg := experiments.DefaultConfig()
 	cfg.TargetUsers = users
@@ -84,6 +89,9 @@ func run(feedDir string, users int, seed uint64, scenName string, workers, shard
 		cfg.SkipKPI = true // KPI records come from the feed, if at all
 		if scenName != "" {
 			return fmt.Errorf("-scenario only applies to inline mode; the feed in %s was generated under its own scenario", feedDir)
+		}
+		if engShards > 1 {
+			return fmt.Errorf("-engineshards only applies to inline mode; the feed in %s carries prebuilt KPI records", feedDir)
 		}
 	} else if scenName != "" {
 		s, err := scenario.Load(scenName)

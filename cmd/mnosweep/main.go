@@ -17,6 +17,12 @@
 // every scenario's per-day KPI and mobility series against the named
 // run: absolute and percent mean deltas plus trough/peak day shifts.
 //
+// -engineshards E parallelizes the KPI engine *within* each simulated
+// day (traffic.Engine.DayAppendSharded), the right axis when sweeping
+// few scenarios on many cores. Sharded KPI values are deterministic in
+// E but differ from the serial engine in float association (≤1e-9
+// relative per value); mobility columns are unaffected.
+//
 //	mnosweep -list                  # show the registry
 //	mnosweep                        # default-covid vs no-pandemic vs early-lockdown
 //	mnosweep -scenarios all -users 2000
@@ -26,7 +32,8 @@
 // Usage:
 //
 //	mnosweep [-list] [-scenarios NAMES|all] [-users N] [-seed S] [-nokpi]
-//	         [-workers W] [-shards K] [-parallel P] [-baseline NAME]
+//	         [-workers W] [-shards K] [-engineshards E] [-parallel P]
+//	         [-baseline NAME]
 package main
 
 import (
@@ -45,15 +52,16 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list the built-in scenario registry and exit")
-		names    = flag.String("scenarios", "default-covid,no-pandemic,early-lockdown", "comma-separated registry names and/or JSON spec files; \"all\" runs every built-in")
-		users    = flag.Int("users", 4000, "synthetic native smartphone users")
-		seed     = flag.Uint64("seed", 42, "master random seed (shared by every scenario: paired draws)")
-		noKPI    = flag.Bool("nokpi", false, "skip the traffic engine (mobility headlines only, ~3× faster)")
-		workers  = flag.Int("workers", 0, "worker goroutines per run (0: GOMAXPROCS)")
-		shards   = flag.Int("shards", 0, "logical shards (0: default)")
-		parallel = flag.Int("parallel", 1, "concurrent scenario runs (1: serial; output is identical either way)")
-		baseline = flag.String("baseline", "", "scenario name to difference every other run against (prints the delta table)")
+		list      = flag.Bool("list", false, "list the built-in scenario registry and exit")
+		names     = flag.String("scenarios", "default-covid,no-pandemic,early-lockdown", "comma-separated registry names and/or JSON spec files; \"all\" runs every built-in")
+		users     = flag.Int("users", 4000, "synthetic native smartphone users")
+		seed      = flag.Uint64("seed", 42, "master random seed (shared by every scenario: paired draws)")
+		noKPI     = flag.Bool("nokpi", false, "skip the traffic engine (mobility headlines only, ~3× faster)")
+		workers   = flag.Int("workers", 0, "worker goroutines per run (0: GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "logical shards (0: default)")
+		engShards = flag.Int("engineshards", 0, "intra-day KPI accumulation shards (<=1: serial engine; sharded KPI values differ from serial only in float association, <=1e-9 relative)")
+		parallel  = flag.Int("parallel", 1, "concurrent scenario runs (1: serial; output is identical either way)")
+		baseline  = flag.String("baseline", "", "scenario name to difference every other run against (prints the delta table)")
 	)
 	flag.Parse()
 
@@ -61,7 +69,7 @@ func main() {
 		printRegistry()
 		return
 	}
-	if err := run(*names, *users, *seed, *noKPI, *workers, *shards, *parallel, *baseline); err != nil {
+	if err := run(*names, *users, *seed, *noKPI, *workers, *shards, *engShards, *parallel, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "mnosweep:", err)
 		os.Exit(1)
 	}
@@ -109,7 +117,7 @@ func resolve(names string) ([]experiments.SweepScenario, error) {
 	return out, nil
 }
 
-func run(names string, users int, seed uint64, noKPI bool, workers, shards, parallel int, baseline string) error {
+func run(names string, users int, seed uint64, noKPI bool, workers, shards, engShards, parallel int, baseline string) error {
 	scens, err := resolve(names)
 	if err != nil {
 		return err
@@ -132,7 +140,7 @@ func run(names string, users int, seed uint64, noKPI bool, workers, shards, para
 	cfg.TargetUsers = users
 	cfg.Seed = seed
 	cfg.SkipKPI = noKPI
-	scfg := stream.Config{Workers: workers, Shards: shards}
+	scfg := stream.Config{Workers: workers, Shards: shards, EngineShards: engShards}
 
 	start := time.Now()
 	world := experiments.NewWorld(cfg)

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/stream"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// TestStreamingEngineShardsWithinTolerance wires the intra-day sharded
+// KPI engine (stream.Config.EngineShards) through the full streaming
+// pipeline: mobility aggregates, which never touch the KPI engine, stay
+// bit-identical to the serial run, while every national KPI series value
+// stays within 1e-9 relative — the sharded accumulation differs from
+// serial only in floating-point association.
+func TestStreamingEngineShardsWithinTolerance(t *testing.T) {
+	cfg := streamingTestConfig()
+	serial := RunStreamingConfig(cfg, stream.Config{Workers: 1})
+	sharded := RunStreamingConfig(cfg, stream.Config{Workers: 1, EngineShards: 2})
+
+	for _, m := range []core.MobilityMetric{core.MetricEntropy, core.MetricGyration} {
+		a := serial.Mobility.NationalSeries(m)
+		b := sharded.Mobility.NationalSeries(m)
+		for d := 0; d < a.Len(); d++ {
+			if a.At(d) != b.At(d) {
+				t.Fatalf("mobility %v day %d: %v vs %v (must be bit-identical; EngineShards leaked into mobility)",
+					m, d, a.At(d), b.At(d))
+			}
+		}
+	}
+
+	if serial.KPI == nil || sharded.KPI == nil {
+		t.Fatal("KPI analyzer missing")
+	}
+	for m := 0; m < traffic.NumMetrics; m++ {
+		a := serial.KPI.NationalSeries(traffic.Metric(m))
+		b := sharded.KPI.NationalSeries(traffic.Metric(m))
+		for d := 0; d < timegrid.StudyDays; d++ {
+			av, bv := a.At(d), b.At(d)
+			if av == bv {
+				continue
+			}
+			scale := math.Max(math.Abs(av), math.Abs(bv))
+			if math.Abs(av-bv) > 1e-9*scale {
+				t.Fatalf("KPI %v day %d: serial %v vs sharded %v, drift beyond 1e-9 relative",
+					traffic.Metric(m), d, av, bv)
+			}
+		}
+	}
+}
+
+// TestParallelSweepShardedEngineDeterministic pins the sweep-scale
+// contract: with EngineShards set, the parallel sweep executor must
+// still be bit-identical to the serial sweep at every worker count —
+// the sharded records differ from the serial engine's, but they are a
+// pure function of (world, seed, scenario, EngineShards), so outer
+// parallelism and the engine-rebind reuse path must not move a bit.
+func TestParallelSweepShardedEngineDeterministic(t *testing.T) {
+	cfg := streamingTestConfig()
+	scens := sweepScenarios(t, scenario.DefaultCovid, scenario.NoPandemic, scenario.VoiceSurge)
+	w := NewWorld(cfg)
+	scfg := stream.Config{Workers: 1, EngineShards: 2}
+	serial := RunSweep(w, cfg, scfg, scens)
+	for _, parallel := range []int{2, 3} {
+		got := RunSweepParallel(w, cfg, scfg, scens, parallel)
+		assertSweepRunsEqual(t, serial, got)
+	}
+}

@@ -149,7 +149,11 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 				res := s.pool.get()
 				b := DayBatch{Day: day, Traces: sim.DayInto(res.buf, day), Recycle: res.recycle}
 				if eng != nil {
-					res.cells = eng.DayAppend(res.cells[:0], day, b.Traces)
+					if cfg.EngineShards > 1 {
+						res.cells = eng.DayAppendSharded(res.cells[:0], day, b.Traces, cfg.EngineShards)
+					} else {
+						res.cells = eng.DayAppend(res.cells[:0], day, b.Traces)
+					}
 					b.Cells = res.cells
 				}
 				select {

@@ -1,0 +1,138 @@
+package traffic
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/mobsim"
+	"repro/internal/timegrid"
+)
+
+// shardTask is one accumulation unit handed to the pool: fold
+// traces[lo:hi] into tile under the day's factors, then signal wg. The
+// task is self-contained, so tasks from different engines interleave on
+// the same workers safely.
+type shardTask struct {
+	e      *Engine
+	tile   *accTile
+	day    timegrid.SimDay
+	f      *dayFactors
+	traces []mobsim.DayTrace
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	shardPoolOnce sync.Once
+	shardTasks    chan shardTask
+)
+
+// startShardPool lazily spawns the process-wide accumulation workers.
+// A persistent pool (rather than a goroutine per call) keeps the
+// steady-state sharded day at zero heap allocations: `go f(args)`
+// allocates a closure per spawn, while a channel send of a task struct
+// does not. The workers live for the rest of the process; they are
+// shared by every engine, idle on a channel receive when no sharded day
+// is running, and their count never affects results — each task writes
+// only its own tile, and the merge order is fixed by shard index.
+func startShardPool() {
+	shardPoolOnce.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		if n < 2 {
+			// Keep real concurrency even on a single-core runner so the
+			// race detector exercises the same interleavings CI relies
+			// on.
+			n = 2
+		}
+		shardTasks = make(chan shardTask, 4*n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for t := range shardTasks {
+					t.e.accumulateRange(t.tile, t.day, t.f, t.traces, t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// DayAppendSharded is DayAppend with the visit accumulation partitioned
+// across a fixed shard count: shard s folds the contiguous trace range
+// [s·n/shards, (s+1)·n/shards) into its own accumulator tile on the
+// process-wide worker pool, and the tiles are merged into the canonical
+// grid in shard-index order before the usual reduction.
+//
+// Determinism contract: the output is a pure function of (engine
+// construction, day, traces, shards) — the partition depends only on
+// trace index and shard count, each tile is computed independently, and
+// the merge replays shard order regardless of how many pool workers ran
+// the tasks (pinned by TestDayAppendShardedPoolMatchesInline under
+// -race). Across *shard counts* the records differ from DayAppend only
+// in floating-point association — per-shard partial sums are added
+// tower-wise instead of interleaving every user — which moves KPI values
+// by parts in 1e-12 relative; TestDayAppendShardedMatchesSerial bounds
+// the drift at 1e-9. shards <= 1 degrades to the bit-identical serial
+// DayAppend.
+func (e *Engine) DayAppendSharded(dst []CellDay, day timegrid.SimDay, traces []mobsim.DayTrace, shards int) []CellDay {
+	return e.dayAppendSharded(dst, day, traces, shards, false)
+}
+
+// dayAppendSharded is DayAppendSharded with the pool bypass the
+// worker-count-invariance tests use: inline mode executes every shard
+// task on the calling goroutine, which must produce bit-identical
+// records to any pool schedule.
+func (e *Engine) dayAppendSharded(dst []CellDay, day timegrid.SimDay, traces []mobsim.DayTrace, shards int, inline bool) []CellDay {
+	if shards <= 1 {
+		return e.DayAppend(dst, day, traces)
+	}
+	e.dayF = e.dayFactorsFor(day)
+	e.accumulateSharded(day, traces, shards, inline)
+	return e.reduceAppend(dst, day, &e.dayF)
+}
+
+// accumulateSharded runs the partitioned accumulation and the canonical
+// merge. e.dayF must already hold the day's factors.
+func (e *Engine) accumulateSharded(day timegrid.SimDay, traces []mobsim.DayTrace, shards int, inline bool) {
+	for len(e.tiles) < shards {
+		e.tiles = append(e.tiles, newAccTile(len(e.tile.acc)))
+	}
+	if e.shardWG == nil {
+		e.shardWG = new(sync.WaitGroup)
+	}
+	if !inline {
+		startShardPool()
+	}
+
+	n := len(traces)
+	for s := 0; s < shards; s++ {
+		t := &e.tiles[s]
+		t.beginDay()
+		lo, hi := s*n/shards, (s+1)*n/shards
+		if inline || lo == hi {
+			e.accumulateRange(t, day, &e.dayF, traces, lo, hi)
+			continue
+		}
+		e.shardWG.Add(1)
+		shardTasks <- shardTask{e: e, tile: t, day: day, f: &e.dayF, traces: traces, lo: lo, hi: hi, wg: e.shardWG}
+	}
+	e.shardWG.Wait()
+
+	// Merge in shard-index order (and, within a shard, in the shard's
+	// first-touch journal order): the one canonical addition sequence,
+	// invariant to pool scheduling.
+	e.tile.beginDay()
+	for s := 0; s < shards; s++ {
+		t := &e.tiles[s]
+		for _, ti := range t.touched {
+			dstH := e.tile.tower(ti)
+			srcH := &t.acc[ti]
+			for h := 0; h < timegrid.HoursPerDay; h++ {
+				dstH[h].presSec += srcH[h].presSec
+				dstH[h].activeSec += srcH[h].activeSec
+				dstH[h].dlMB += srcH[h].dlMB
+				dstH[h].ulMB += srcH[h].ulMB
+				dstH[h].voiceMin += srcH[h].voiceMin
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package traffic
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/census"
+	"repro/internal/mobsim"
+	"repro/internal/pandemic"
+	"repro/internal/popsim"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/timegrid"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the sharded-day golden fixture")
+
+// shardTol is the allowed per-KPI relative drift between the sharded and
+// serial accumulation: the only difference is float re-association when
+// per-shard partial sums merge, which moves values by parts in ~1e-12.
+const shardTol = 1e-9
+
+// smallFixture builds the 500-user stack of the sharded parity suite —
+// deliberately separate from the package fixture so the CI smoke
+// (`go test -race -run TestDayAppendSharded ./internal/traffic`) runs at
+// smoke scale.
+var (
+	smallOnce sync.Once
+	smallSim  *mobsim.Simulator
+	smallEng  func() *Engine // fresh engine per call, shared world
+)
+
+func smallFixture(t testing.TB) (*mobsim.Simulator, *Engine) {
+	t.Helper()
+	smallOnce.Do(func() {
+		m := census.BuildUK(7)
+		topo := radio.Build(m, radio.DefaultConfig(), 7)
+		pop := popsim.Synthesize(m, topo, popsim.Config{Seed: 7, TargetUsers: 500})
+		smallSim = mobsim.New(pop, pandemic.Default(), 7)
+		smallEng = func() *Engine {
+			return NewEngine(pop, pandemic.Default(), DefaultParams(), 7)
+		}
+	})
+	return smallSim, smallEng()
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return d
+	}
+	return d / scale
+}
+
+// TestDayAppendShardedMatchesSerial is the differential test of the
+// tentpole's sharded path: at every shard count the records must cover
+// the same cells in the same order, with every KPI value within 1e-9
+// relative of the serial engine (the drift is pure float re-association
+// in the shard merge). Also the CI parity smoke, at 500 users.
+func TestDayAppendShardedMatchesSerial(t *testing.T) {
+	sim, eng := smallFixture(t)
+	shardedEng := smallEng()
+	for _, day := range []timegrid.SimDay{
+		timegrid.SimDay(timegrid.StudyDayOffset + 3),
+		timegrid.SimDay(timegrid.StudyDayOffset + 23), // voice-surge week
+	} {
+		traces := sim.Day(day)
+		serial := eng.Day(day, traces)
+		for _, shards := range []int{2, 3, 4, 8} {
+			var got []CellDay
+			got = shardedEng.DayAppendSharded(got[:0], day, traces, shards)
+			if len(got) != len(serial) {
+				t.Fatalf("day %d shards %d: %d cells vs serial %d", day, shards, len(got), len(serial))
+			}
+			for i := range got {
+				if got[i].Cell != serial[i].Cell {
+					t.Fatalf("day %d shards %d: cell order diverges at %d", day, shards, i)
+				}
+				for m := 0; m < NumMetrics; m++ {
+					if d := relDiff(got[i].Values[m], serial[i].Values[m]); d > shardTol {
+						t.Fatalf("day %d shards %d cell %d metric %v: %v vs %v (rel %g)",
+							day, shards, got[i].Cell, Metric(m), got[i].Values[m], serial[i].Values[m], d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDayAppendShardedOneShardBitIdentical pins the degradation rule:
+// shards <= 1 takes the serial path and must be bit-identical to
+// DayAppend.
+func TestDayAppendShardedOneShardBitIdentical(t *testing.T) {
+	sim, eng := smallFixture(t)
+	day := timegrid.SimDay(timegrid.StudyDayOffset + 9)
+	traces := sim.Day(day)
+	serial := eng.Day(day, traces)
+	sharded := eng.DayAppendSharded(nil, day, traces, 1)
+	if len(serial) != len(sharded) {
+		t.Fatalf("%d vs %d cells", len(serial), len(sharded))
+	}
+	for i := range serial {
+		if serial[i] != sharded[i] {
+			t.Fatalf("cell %d: %+v vs %+v", i, serial[i], sharded[i])
+		}
+	}
+}
+
+// TestDayAppendShardedPoolMatchesInline pins the determinism contract:
+// the pooled execution (any number of workers racing over the tasks)
+// must be bit-identical to executing every shard task inline on one
+// goroutine, because each task owns its tile and the merge replays
+// shard-index order. Run under -race in CI.
+func TestDayAppendShardedPoolMatchesInline(t *testing.T) {
+	sim, eng := smallFixture(t)
+	inlineEng := smallEng()
+	for _, day := range []timegrid.SimDay{5, timegrid.SimDay(timegrid.StudyDayOffset + 30)} {
+		traces := sim.Day(day)
+		for _, shards := range []int{2, 4, 7} {
+			pooled := eng.DayAppendSharded(nil, day, traces, shards)
+			inline := inlineEng.dayAppendSharded(nil, day, traces, shards, true)
+			if len(pooled) != len(inline) {
+				t.Fatalf("day %d shards %d: %d vs %d cells", day, shards, len(pooled), len(inline))
+			}
+			for i := range pooled {
+				if pooled[i] != inline[i] {
+					t.Fatalf("day %d shards %d cell %d: pooled %+v vs inline %+v",
+						day, shards, i, pooled[i], inline[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDayAppendShardedDeterministic asserts repeat calls and clones
+// reproduce the sharded records bit for bit (warm tiles carry no state
+// across days).
+func TestDayAppendShardedDeterministic(t *testing.T) {
+	sim, eng := smallFixture(t)
+	day := timegrid.SimDay(timegrid.StudyDayOffset + 17)
+	traces := sim.Day(day)
+	a := eng.DayAppendSharded(nil, day, traces, 4)
+	b := eng.DayAppendSharded(nil, day, traces, 4)
+	c := eng.Clone().DayAppendSharded(nil, day, traces, 4)
+	if len(a) != len(b) || len(a) != len(c) {
+		t.Fatalf("record counts differ: %d %d %d", len(a), len(b), len(c))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("repeat call diverges at cell %d", i)
+		}
+		if a[i] != c[i] {
+			t.Fatalf("clone diverges at cell %d", i)
+		}
+	}
+}
+
+// TestDayAppendShardedMoreShardsThanTraces exercises empty shard ranges.
+func TestDayAppendShardedMoreShardsThanTraces(t *testing.T) {
+	sim, eng := smallFixture(t)
+	day := timegrid.SimDay(timegrid.StudyDayOffset + 2)
+	traces := sim.Day(day)[:3]
+	serial := eng.Day(day, traces)
+	sharded := eng.DayAppendSharded(nil, day, traces, 8)
+	if len(serial) != len(sharded) {
+		t.Fatalf("%d vs %d cells", len(serial), len(sharded))
+	}
+	for i := range sharded {
+		for m := 0; m < NumMetrics; m++ {
+			if d := relDiff(sharded[i].Values[m], serial[i].Values[m]); d > shardTol {
+				t.Fatalf("cell %d metric %v drifts by %g", i, Metric(m), d)
+			}
+		}
+	}
+}
+
+// shardedGolden is the committed reference output of the canonical
+// sharded day: the record count, the head of the record stream at full
+// float precision, and the per-metric record sums (accumulated in record
+// order). Regenerate with `go test ./internal/traffic -run Golden
+// -update` and commit the diff deliberately — the fixture pins the
+// shard-merge association, so it only changes when the canonical merge
+// order changes.
+type shardedGolden struct {
+	Users  int                 `json:"users"`
+	Seed   uint64              `json:"seed"`
+	Day    int                 `json:"day"`
+	Shards int                 `json:"shards"`
+	Cells  int                 `json:"cells"`
+	Sums   [NumMetrics]float64 `json:"sums"`
+	Head   []CellDay           `json:"head"`
+}
+
+const goldenHead = 24
+
+func shardedGoldenNow(t *testing.T) shardedGolden {
+	t.Helper()
+	sim, eng := smallFixture(t)
+	day := timegrid.SimDay(timegrid.StudyDayOffset + 23)
+	traces := sim.Day(day)
+	cells := eng.DayAppendSharded(nil, day, traces, 2)
+	g := shardedGolden{Users: 500, Seed: 7, Day: int(day), Shards: 2, Cells: len(cells)}
+	for i := range cells {
+		for m := 0; m < NumMetrics; m++ {
+			g.Sums[m] += cells[i].Values[m]
+		}
+	}
+	g.Head = append(g.Head, cells[:goldenHead]...)
+	return g
+}
+
+// TestDayAppendShardedGolden pins the canonical 2-shard day against the
+// committed fixture, bit for bit.
+func TestDayAppendShardedGolden(t *testing.T) {
+	got := shardedGoldenNow(t)
+	path := filepath.Join("testdata", "sharded-day.json")
+	if *updateGolden {
+		buf, err := json.MarshalIndent(&got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	var want shardedGolden
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.Cells != want.Cells || got.Users != want.Users || got.Seed != want.Seed ||
+		got.Day != want.Day || got.Shards != want.Shards {
+		t.Fatalf("fixture shape changed: got %+v header, want %+v", got, want)
+	}
+	for m := 0; m < NumMetrics; m++ {
+		if got.Sums[m] != want.Sums[m] {
+			t.Errorf("metric %v sum: got %v, want %v (re-association changed; regenerate with -update only if intended)",
+				Metric(m), got.Sums[m], want.Sums[m])
+		}
+	}
+	if len(got.Head) != len(want.Head) {
+		t.Fatalf("head length: got %d, want %d (goldenHead changed? regenerate with -update)", len(got.Head), len(want.Head))
+	}
+	for i := range want.Head {
+		if got.Head[i] != want.Head[i] {
+			t.Fatalf("head record %d: got %+v, want %+v", i, got.Head[i], want.Head[i])
+		}
+	}
+}
+
+// TestMedian24MatchesReference drives the order-statistic select against
+// the sorting reference over randomized inputs, including heavy ties,
+// for every staging length the reduction can produce.
+func TestMedian24MatchesReference(t *testing.T) {
+	src := rng.New(99)
+	for n := 0; n <= timegrid.HoursPerDay; n++ {
+		for trial := 0; trial < 400; trial++ {
+			var xs, ref [timegrid.HoursPerDay]float64
+			for i := 0; i < n; i++ {
+				switch trial % 3 {
+				case 0:
+					xs[i] = src.Float64()
+				case 1:
+					xs[i] = float64(src.Intn(4)) // heavy ties
+				default:
+					xs[i] = float64(src.Intn(1000)) / 8
+				}
+			}
+			ref = xs
+			want := medianInPlace(ref[:n])
+			if got := median24(&xs, n); got != want {
+				t.Fatalf("n=%d trial=%d: median24 %v, reference %v (input %v)", n, trial, got, want, ref[:n])
+			}
+		}
+	}
+}

@@ -11,8 +11,11 @@
 #                                          # (snapshot marked -dirty, never
 #                                          # to be committed)
 #
-# The default set covers the per-day hot path (simulation, KPI engine,
-# §2.3 metrics) and the end-to-end serial/streaming pipelines.
+# The default set covers the per-day hot path (simulation, KPI engine —
+# the EngineDay pattern includes the serial Day/DayAppend benchmarks and
+# the intra-day EngineDayAppendSharded2/4 ones, §2.3 metrics) and the
+# end-to-end serial/streaming pipelines. Compare snapshots with
+# scripts/benchdiff.sh.
 #
 # Snapshots are named BENCH_<sha>.json after the commit they measure, so
 # the script refuses to run on a dirty tree: numbers measured on

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# benchdiff.sh — compare the two newest committed BENCH_<sha>.json
+# snapshots and print per-benchmark ns/op, B/op and allocs/op deltas.
+# Thin wrapper over `go run ./cmd/benchdiff`; all flags pass through.
+#
+# Usage:
+#   scripts/benchdiff.sh                 # diff the repo-root snapshots
+#   scripts/benchdiff.sh -warn 5         # tighter regression threshold
+#   scripts/benchdiff.sh -fail           # exit 1 on a hot-path regression
+#
+# Typical loop: scripts/bench.sh after a commit, then benchdiff.sh to
+# see what the commit did to the hot-path trajectory. CI runs the same
+# tool with -github so regressions annotate the workflow as warnings
+# (never failures — cross-runner numbers are a trajectory, not a gate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchdiff "$@"
