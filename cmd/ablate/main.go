@@ -15,6 +15,7 @@
 // Usage:
 //
 //	ablate [-which all|scenario|interconnect|topn|nights|offload] [-users N]
+//	       [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mobsim"
+	"repro/internal/prof"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/stream"
@@ -38,26 +40,34 @@ func main() {
 		which = flag.String("which", "all", "ablation to run")
 		users = flag.Int("users", 4000, "synthetic users")
 		seed  = flag.Uint64("seed", 42, "random seed")
+		pf    = prof.Flags()
 	)
 	flag.Parse()
 
-	cfg := experiments.DefaultConfig()
-	cfg.TargetUsers = *users
-	cfg.Seed = *seed
-	world := experiments.NewWorld(cfg)
+	err := pf.Run(func() error {
+		cfg := experiments.DefaultConfig()
+		cfg.TargetUsers = *users
+		cfg.Seed = *seed
+		world := experiments.NewWorld(cfg)
 
-	run := func(name string, fn func(*experiments.World)) {
-		if *which == "all" || strings.EqualFold(*which, name) {
-			fmt.Printf("=== ablation: %s ===\n", name)
-			fn(world)
-			fmt.Println()
+		run := func(name string, fn func(*experiments.World)) {
+			if *which == "all" || strings.EqualFold(*which, name) {
+				fmt.Printf("=== ablation: %s ===\n", name)
+				fn(world)
+				fmt.Println()
+			}
 		}
+		run("scenario", ablateScenario)
+		run("interconnect", ablateInterconnect)
+		run("topn", ablateTopN)
+		run("nights", ablateNights)
+		run("offload", ablateOffload)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
 	}
-	run("scenario", ablateScenario)
-	run("interconnect", ablateInterconnect)
-	run("topn", ablateTopN)
-	run("nights", ablateNights)
-	run("offload", ablateOffload)
 }
 
 // ablateScenario compares counterfactual timelines on the parallel

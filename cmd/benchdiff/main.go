@@ -13,9 +13,23 @@
 // Snapshots suffixed -dirty are ignored: their numbers are attributable
 // to no commit (see PERFORMANCE.md, "Snapshot hygiene").
 //
+// Snapshots record runner metadata (go version, GOMAXPROCS, core count,
+// commit date); diffing two snapshots taken on different core counts
+// prints a comparability note, since parallel benchmarks don't transfer
+// across machine shapes.
+//
+// -obs switches to metric snapshots (obs/v1 JSON, written by the
+// -metrics-out flag of mnostream/mnosweep): one file is validated and
+// summarized, two comma-separated files are diffed counter by counter
+// and histogram by histogram. A snapshot that fails to parse or carries
+// the wrong schema is an error, which is what the CI smoke step relies
+// on.
+//
 // Usage:
 //
 //	benchdiff [-dir DIR] [-warn PCT] [-hot REGEX] [-github] [-fail]
+//	benchdiff -obs run.json
+//	benchdiff -obs old.json,new.json
 package main
 
 import (
@@ -27,14 +41,22 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
-// snapshot mirrors the JSON scripts/bench.sh emits.
+// snapshot mirrors the JSON scripts/bench.sh emits. The metadata fields
+// are absent from snapshots written before they existed, so zero values
+// mean "unknown", never "different".
 type snapshot struct {
-	Sha       string   `json:"sha"`
-	Date      string   `json:"date"`
-	Benchtime string   `json:"benchtime"`
-	Results   []result `json:"results"`
+	Sha        string   `json:"sha"`
+	Date       string   `json:"date"`
+	CommitDate string   `json:"commit_date"`
+	Go         string   `json:"go"`
+	Gomaxprocs int      `json:"gomaxprocs"`
+	Numcpu     int      `json:"numcpu"`
+	Benchtime  string   `json:"benchtime"`
+	Results    []result `json:"results"`
 
 	path  string
 	mtime int64
@@ -53,15 +75,22 @@ const defaultHot = `SimDayInto|EngineDayAppend|DayMetricsMerger|MergeVisits`
 
 func main() {
 	var (
-		dir    = flag.String("dir", ".", "directory holding BENCH_<sha>.json snapshots")
-		warn   = flag.Float64("warn", 10, "ns/op regression percent that triggers a warning (hot-path set only)")
-		hot    = flag.String("hot", defaultHot, "regexp of the hot-path benchmark set")
-		github = flag.Bool("github", false, "emit GitHub ::warning:: workflow commands for flagged regressions")
-		fail   = flag.Bool("fail", false, "exit 1 when a hot-path benchmark regresses past -warn")
+		dir     = flag.String("dir", ".", "directory holding BENCH_<sha>.json snapshots")
+		warn    = flag.Float64("warn", 10, "ns/op regression percent that triggers a warning (hot-path set only)")
+		hot     = flag.String("hot", defaultHot, "regexp of the hot-path benchmark set")
+		github  = flag.Bool("github", false, "emit GitHub ::warning:: workflow commands for flagged regressions")
+		fail    = flag.Bool("fail", false, "exit 1 when a hot-path benchmark regresses past -warn")
+		obsSpec = flag.String("obs", "", "metric snapshot mode: one obs/v1 JSON file to summarize, or two comma-separated files to diff")
 	)
 	flag.Parse()
 
-	if err := run(*dir, *warn, *hot, *github, *fail); err != nil {
+	var err error
+	if *obsSpec != "" {
+		err = runObs(*obsSpec)
+	} else {
+		err = run(*dir, *warn, *hot, *github, *fail)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
@@ -81,7 +110,15 @@ func run(dir string, warnPct float64, hotPattern string, github, fail bool) erro
 		return nil
 	}
 	old, new := snaps[len(snaps)-2], snaps[len(snaps)-1]
-	fmt.Printf("benchmark deltas: %s (%s) → %s (%s)\n\n", old.Sha, old.Date, new.Sha, new.Date)
+	fmt.Printf("benchmark deltas: %s (%s) → %s (%s)\n", old.Sha, old.Date, new.Sha, new.Date)
+	// Comparability: parallel benchmarks scale with the machine shape, so
+	// deltas between runners with different core counts are mostly noise.
+	// Only warn when both snapshots carry the metadata (older ones don't).
+	if old.Numcpu > 0 && new.Numcpu > 0 && (old.Numcpu != new.Numcpu || old.Gomaxprocs != new.Gomaxprocs) {
+		fmt.Printf("NOTE: snapshots ran on different core counts (%d cpus / GOMAXPROCS %d → %d cpus / GOMAXPROCS %d) — deltas are not comparable\n",
+			old.Numcpu, old.Gomaxprocs, new.Numcpu, new.Gomaxprocs)
+	}
+	fmt.Println()
 	fmt.Printf("%-36s %14s %14s %8s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "Δns", "allocs", "Δallocs")
 
 	oldBy := map[string]result{}
@@ -214,4 +251,133 @@ func signed(v *float64) string {
 		return "0"
 	}
 	return fmt.Sprintf("%+g", *v)
+}
+
+// runObs handles metric snapshots: one path summarizes (and validates —
+// a parse failure or wrong schema is an error), two comma-separated
+// paths diff counters and histogram means between runs.
+func runObs(spec string) error {
+	paths := strings.Split(spec, ",")
+	if len(paths) > 2 {
+		return fmt.Errorf("-obs takes one or two comma-separated files, got %d", len(paths))
+	}
+	snaps := make([]obsSnap, len(paths))
+	for i, p := range paths {
+		s, err := loadObs(strings.TrimSpace(p))
+		if err != nil {
+			return err
+		}
+		snaps[i] = s
+	}
+	if len(snaps) == 1 {
+		printObs(snaps[0])
+		return nil
+	}
+	diffObs(snaps[0], snaps[1])
+	return nil
+}
+
+type obsSnap struct {
+	obs.Snapshot
+	path string
+}
+
+func loadObs(path string) (obsSnap, error) {
+	var s obsSnap
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(buf, &s.Snapshot); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != obs.SchemaV1 {
+		return s, fmt.Errorf("%s: schema %q, want %q", path, s.Schema, obs.SchemaV1)
+	}
+	s.path = path
+	return s, nil
+}
+
+func printObs(s obsSnap) {
+	fmt.Printf("metric snapshot %s (%s): %d counters, %d gauges, %d histograms\n\n",
+		s.path, s.Schema, len(s.Counters), len(s.Gauges), len(s.Histograms))
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Printf("%-40s %16d\n", k, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Printf("%-40s %16d\n", k, s.Gauges[k])
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Printf("\n%-40s %10s %14s %14s\n", "histogram", "count", "mean ns", "p90 ns")
+		for _, k := range sortedStrings(s.Histograms) {
+			h := s.Histograms[k]
+			fmt.Printf("%-40s %10d %14.0f %14.0f\n", k, h.Count, h.MeanNs, h.P90Ns)
+		}
+	}
+}
+
+func diffObs(a, b obsSnap) {
+	fmt.Printf("metric deltas: %s → %s\n\n", a.path, b.path)
+	fmt.Printf("%-40s %16s %16s\n", "counter/gauge", "old", "new")
+	for _, k := range unionKeys(a.Counters, b.Counters) {
+		fmt.Printf("%-40s %16d %16d\n", k, a.Counters[k], b.Counters[k])
+	}
+	for _, k := range unionKeys(a.Gauges, b.Gauges) {
+		fmt.Printf("%-40s %16d %16d\n", k, a.Gauges[k], b.Gauges[k])
+	}
+	fmt.Printf("\n%-40s %14s %14s %8s\n", "histogram mean ns", "old", "new", "Δ")
+	seen := map[string]bool{}
+	var keys []string
+	for k := range a.Histograms {
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	for k := range b.Histograms {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		oh, nh := a.Histograms[k], b.Histograms[k]
+		d := "-"
+		if oh.MeanNs > 0 && nh.MeanNs > 0 {
+			d = fmt.Sprintf("%+.1f%%", (nh.MeanNs-oh.MeanNs)/oh.MeanNs*100)
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %8s\n", k, oh.MeanNs, nh.MeanNs, d)
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedStrings(m map[string]obs.HistSnapshot) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func unionKeys(a, b map[string]int64) []string {
+	seen := map[string]bool{}
+	var keys []string
+	for k := range a {
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	for k := range b {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }

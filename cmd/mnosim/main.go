@@ -45,17 +45,16 @@ import (
 
 func main() {
 	var (
-		out        = flag.String("out", "data", "output directory")
-		users      = flag.Int("users", 8000, "synthetic native smartphone users")
-		seed       = flag.Uint64("seed", 42, "master random seed")
-		scen       = flag.String("scenario", "", "behavioural scenario: registry name or JSON spec file (empty: the calibrated default)")
-		raw        = flag.Bool("raw", false, "also export raw per-visit traces and a sample signalling feed (large)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		out   = flag.String("out", "data", "output directory")
+		users = flag.Int("users", 8000, "synthetic native smartphone users")
+		seed  = flag.Uint64("seed", 42, "master random seed")
+		scen  = flag.String("scenario", "", "behavioural scenario: registry name or JSON spec file (empty: the calibrated default)")
+		raw   = flag.Bool("raw", false, "also export raw per-visit traces and a sample signalling feed (large)")
+		pf    = prof.Flags()
 	)
 	flag.Parse()
 
-	err := prof.Run(*cpuProfile, *memProfile, func() error {
+	err := pf.Run(func() error {
 		return run(*out, *users, *seed, *scen, *raw)
 	})
 	if err != nil {

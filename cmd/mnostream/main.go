@@ -30,10 +30,17 @@
 // scenario is already baked into the replayed traces, so the flag is
 // rejected; the feed's own scenario is recorded in its meta sidecar.
 //
+// Observability: -metrics ADDR serves the live metric registry and
+// net/http/pprof while the run is in flight, -metrics-out FILE writes
+// the end-of-run snapshot (obs/v1 JSON, diffable with `benchdiff -obs`);
+// either flag also prints the human metric table at exit. See
+// PERFORMANCE.md, "Observability".
+//
 // Usage:
 //
 //	mnostream [-feeds DIR] [-users N] [-seed S] [-scenario NAME|FILE.json]
 //	          [-workers W] [-shards K] [-engineshards E] [-days D]
+//	          [-metrics ADDR] [-metrics-out FILE]
 //	          [-cpuprofile F] [-memprofile F]
 package main
 
@@ -46,7 +53,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/feeds"
 	"repro/internal/mobsim"
-	"repro/internal/prof"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/signaling"
 	"repro/internal/stream"
@@ -56,22 +63,21 @@ import (
 
 func main() {
 	var (
-		feedDir    = flag.String("feeds", "", "feed directory to replay (empty: run the simulator inline)")
-		users      = flag.Int("users", 8000, "synthetic native smartphone users (must match the feed's value in -feeds mode)")
-		seed       = flag.Uint64("seed", 42, "master random seed (must match the feed's value in -feeds mode)")
-		scen       = flag.String("scenario", "", "behavioural scenario for inline mode: registry name or JSON spec file (empty: the calibrated default)")
-		workers    = flag.Int("workers", 0, "worker goroutines (0: GOMAXPROCS)")
-		shards     = flag.Int("shards", 0, "logical shards (0: default)")
-		engShards  = flag.Int("engineshards", 0, "intra-day KPI accumulation shards in inline mode (<=1: serial engine; sharded records differ from serial only in float association, <=1e-9 relative)")
-		days       = flag.Int("days", timegrid.SimDays, "days to stream in inline mode")
-		noSig      = flag.Bool("nosignaling", false, "skip control-plane generation in inline mode")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		feedDir   = flag.String("feeds", "", "feed directory to replay (empty: run the simulator inline)")
+		users     = flag.Int("users", 8000, "synthetic native smartphone users (must match the feed's value in -feeds mode)")
+		seed      = flag.Uint64("seed", 42, "master random seed (must match the feed's value in -feeds mode)")
+		scen      = flag.String("scenario", "", "behavioural scenario for inline mode: registry name or JSON spec file (empty: the calibrated default)")
+		workers   = flag.Int("workers", 0, "worker goroutines (0: GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "logical shards (0: default)")
+		engShards = flag.Int("engineshards", 0, "intra-day KPI accumulation shards in inline mode (<=1: serial engine; sharded records differ from serial only in float association, <=1e-9 relative)")
+		days      = flag.Int("days", timegrid.SimDays, "days to stream in inline mode")
+		noSig     = flag.Bool("nosignaling", false, "skip control-plane generation in inline mode")
+		of        = obs.Flags()
 	)
 	flag.Parse()
 
-	err := prof.Run(*cpuProfile, *memProfile, func() error {
-		return run(*feedDir, *users, *seed, *scen, *workers, *shards, *engShards, *days, !*noSig)
+	err := of.Run(func() error {
+		return run(*feedDir, *users, *seed, *scen, *workers, *shards, *engShards, *days, !*noSig, of.Registry())
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnostream:", err)
@@ -79,8 +85,8 @@ func main() {
 	}
 }
 
-func run(feedDir string, users int, seed uint64, scenName string, workers, shards, engShards, days int, withSignaling bool) error {
-	scfg := stream.Config{Workers: workers, Shards: shards, EngineShards: engShards}.WithDefaults()
+func run(feedDir string, users int, seed uint64, scenName string, workers, shards, engShards, days int, withSignaling bool, reg *obs.Registry) error {
+	scfg := stream.Config{Workers: workers, Shards: shards, EngineShards: engShards, Metrics: reg}.WithDefaults()
 
 	cfg := experiments.DefaultConfig()
 	cfg.TargetUsers = users

@@ -29,11 +29,18 @@
 //	mnosweep -scenarios default-covid,./my-scenario.json
 //	mnosweep -scenarios all -parallel 4 -workers 1 -baseline no-pandemic
 //
+// Observability: -metrics ADDR serves the live metric registry and
+// net/http/pprof while the sweep is in flight, -metrics-out FILE writes
+// the end-of-run snapshot (obs/v1 JSON, diffable with `benchdiff -obs`);
+// either flag also prints the human metric table at exit. See
+// PERFORMANCE.md, "Observability".
+//
 // Usage:
 //
 //	mnosweep [-list] [-scenarios NAMES|all] [-users N] [-seed S] [-nokpi]
 //	         [-workers W] [-shards K] [-engineshards E] [-parallel P]
-//	         [-baseline NAME]
+//	         [-baseline NAME] [-metrics ADDR] [-metrics-out FILE]
+//	         [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -45,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/stream"
@@ -62,6 +70,7 @@ func main() {
 		engShards = flag.Int("engineshards", 0, "intra-day KPI accumulation shards (<=1: serial engine; sharded KPI values differ from serial only in float association, <=1e-9 relative)")
 		parallel  = flag.Int("parallel", 1, "concurrent scenario runs (1: serial; output is identical either way)")
 		baseline  = flag.String("baseline", "", "scenario name to difference every other run against (prints the delta table)")
+		of        = obs.Flags()
 	)
 	flag.Parse()
 
@@ -69,7 +78,10 @@ func main() {
 		printRegistry()
 		return
 	}
-	if err := run(*names, *users, *seed, *noKPI, *workers, *shards, *engShards, *parallel, *baseline); err != nil {
+	err := of.Run(func() error {
+		return run(*names, *users, *seed, *noKPI, *workers, *shards, *engShards, *parallel, *baseline, of.Registry())
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mnosweep:", err)
 		os.Exit(1)
 	}
@@ -117,7 +129,7 @@ func resolve(names string) ([]experiments.SweepScenario, error) {
 	return out, nil
 }
 
-func run(names string, users int, seed uint64, noKPI bool, workers, shards, engShards, parallel int, baseline string) error {
+func run(names string, users int, seed uint64, noKPI bool, workers, shards, engShards, parallel int, baseline string, reg *obs.Registry) error {
 	scens, err := resolve(names)
 	if err != nil {
 		return err
@@ -140,7 +152,7 @@ func run(names string, users int, seed uint64, noKPI bool, workers, shards, engS
 	cfg.TargetUsers = users
 	cfg.Seed = seed
 	cfg.SkipKPI = noKPI
-	scfg := stream.Config{Workers: workers, Shards: shards, EngineShards: engShards}
+	scfg := stream.Config{Workers: workers, Shards: shards, EngineShards: engShards, Metrics: reg}
 
 	start := time.Now()
 	world := experiments.NewWorld(cfg)

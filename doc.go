@@ -43,6 +43,10 @@
 //   - cmd/analyze, cmd/ablate, cmd/calibrate, cmd/mobilityrpt: ad-hoc
 //     analysis, ablation sweeps (scenario ablation rides the sweep
 //     runner), calibration and mobility reports.
+//   - internal/obs: the nil-safe metrics layer behind -metrics (live
+//     HTTP JSON + pprof) and -metrics-out (stable obs/v1 snapshots,
+//     diffable with cmd/benchdiff -obs) on mnostream and mnosweep;
+//     PERFORMANCE.md, "Observability", catalogs the metrics.
 //   - examples/: runnable walk-throughs of the public pipeline.
 //
 // The benchmarks in bench_test.go regenerate every table and figure (one
@@ -55,6 +59,7 @@
 // (traffic.Engine.DayAppend), reusable per-user merge scratch
 // (core.VisitMerger) and batch recycling through the streaming engine
 // (stream.DayBatch.Release). PERFORMANCE.md documents the guarantees,
-// the profiling workflow (-cpuprofile/-memprofile on both binaries) and
-// scripts/bench.sh, which snapshots the perf trajectory.
+// the observability and profiling workflow (-metrics/-metrics-out,
+// -cpuprofile/-memprofile) and scripts/bench.sh, which snapshots the
+// perf trajectory.
 package repro

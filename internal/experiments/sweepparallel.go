@@ -3,11 +3,34 @@ package experiments
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/traffic"
 )
+
+// sweepMetrics are the sweep runner's handles, resolved once per sweep
+// from scfg.Metrics (nil when metrics are off — no clock reads then).
+type sweepMetrics struct {
+	runs    *obs.Counter   // sweep.runs: scenario runs completed
+	runNs   *obs.Histogram // sweep.run_ns: per-run wall time, one shard per worker
+	queueNs *obs.Histogram // sweep.queue_wait_ns: how long each scenario queued behind the workers
+	builds  *obs.Gauge     // sweep.world_builds: process-wide World builds (should stay at 1 per sweep)
+}
+
+func newSweepMetrics(r *obs.Registry, parallel int) *sweepMetrics {
+	if r == nil {
+		return nil
+	}
+	return &sweepMetrics{
+		runs:    r.Counter("sweep.runs"),
+		runNs:   r.Histogram("sweep.run_ns", parallel),
+		queueNs: r.Histogram("sweep.queue_wait_ns", 1),
+		builds:  r.Gauge("sweep.world_builds"),
+	}
+}
 
 // sweepWorker is the reusable per-worker state of a parallel sweep: a
 // shared day-buffer recycle pool, the resettable sharded consumer
@@ -28,10 +51,12 @@ type sweepWorker struct {
 }
 
 // newSweepWorker sizes the worker's buffer pool to one run's in-flight
-// window so the steady state never falls back to allocation.
+// window so the steady state never falls back to allocation. The pool is
+// instrumented here (not by the sources that later share it): after the
+// first scenario warms it, every later draw should be a stream.pool hit.
 func newSweepWorker(scfg stream.Config) *sweepWorker {
 	scfg = scfg.WithDefaults()
-	return &sweepWorker{pool: stream.NewBufferPool(scfg.Workers + scfg.Buffer)}
+	return &sweepWorker{pool: stream.NewBufferPool(scfg.Workers + scfg.Buffer).Instrument(scfg.Metrics)}
 }
 
 // bufferPool returns the worker's shared pool, or nil (private pool per
@@ -125,22 +150,43 @@ func RunSweepParallel(w *World, cfg Config, scfg stream.Config, scens []SweepSce
 	// one place).
 	homes := w.Homes()
 
+	m := newSweepMetrics(scfg.Metrics, parallel)
+	var fanOut time.Time
+	if m != nil {
+		fanOut = time.Now()
+	}
+
 	out := make([]SweepRun, len(scens))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for p := 0; p < parallel; p++ {
 		wg.Add(1)
-		go func() {
+		go func(p int) {
 			defer wg.Done()
 			ws := newSweepWorker(scfg)
+			var runSh *obs.HistShard
+			if m != nil {
+				runSh = m.runNs.Shard(p)
+			}
 			for {
 				i := int(next.Add(1) - 1)
 				if i >= len(scens) {
 					return
 				}
+				var t0 time.Time
+				if m != nil {
+					// Queue wait: how long this scenario sat behind the
+					// worker fleet before being claimed.
+					t0 = time.Now()
+					m.queueNs.Observe(int64(t0.Sub(fanOut)))
+				}
 				c := cfg
 				c.Scenario = scens[i].Scenario
 				r := runStreamingStudyWith(ws.instantiate(w, c), scfg, homes, ws)
+				if m != nil {
+					runSh.Observe(int64(time.Since(t0)))
+					m.runs.Inc()
+				}
 				// Detach the worker's shared engine from the stored
 				// stack: it is about to be rebound to the worker's next
 				// scenario, so leaving it on the Dataset would hand
@@ -151,8 +197,11 @@ func RunSweepParallel(w *World, cfg Config, scfg stream.Config, scens []SweepSce
 				r.Dataset.Engine = nil
 				out[i] = SweepRun{Name: scens[i].Name, Results: r, Headlines: Headlines(r)}
 			}
-		}()
+		}(p)
 	}
 	wg.Wait()
+	if m != nil {
+		m.builds.Set(WorldBuildCount())
+	}
 	return out
 }

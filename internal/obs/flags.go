@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/prof"
+)
+
+// FlagSet bundles the observability flags a binary needs: the live
+// -metrics listener, the -metrics-out end-of-run snapshot, and the
+// -cpuprofile/-memprofile pair from internal/prof (embedded here so
+// binaries stop re-declaring them by hand). Usage:
+//
+//	of := obs.Flags()
+//	flag.Parse()
+//	err := of.Run(func() error { return run(of.Registry(), ...) })
+type FlagSet struct {
+	addr *string
+	out  *string
+	prof *prof.FlagSet
+
+	reg   *Registry
+	fixed bool
+}
+
+// Flags registers -metrics, -metrics-out, -cpuprofile and -memprofile
+// on the default flag set. Call before flag.Parse.
+func Flags() *FlagSet {
+	return &FlagSet{
+		addr: flag.String("metrics", "", "serve live metrics + pprof on this address (\":0\" picks a port)"),
+		out:  flag.String("metrics-out", "", "write the end-of-run metrics snapshot (obs/v1 JSON) to this file"),
+		prof: prof.Flags(),
+	}
+}
+
+// Registry returns the run's metric registry: non-nil only when
+// -metrics or -metrics-out was set, so a run without either flag keeps
+// the fully disabled (nil-handle) fast path. Call after flag.Parse.
+func (f *FlagSet) Registry() *Registry {
+	if f == nil {
+		return nil
+	}
+	if !f.fixed {
+		f.fixed = true
+		if *f.addr != "" || *f.out != "" {
+			f.reg = New()
+		}
+	}
+	return f.reg
+}
+
+// Run executes fn with the parsed flags wired through: the metrics
+// listener covers fn's duration, profiling wraps it (internal/prof
+// semantics), and afterwards the snapshot file is written and the human
+// report printed to stderr. fn's error wins over snapshot-write errors.
+func (f *FlagSet) Run(fn func() error) error {
+	reg := f.Registry()
+	if *f.addr != "" {
+		bound, shutdown, err := Serve(*f.addr, reg)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "obs: serving metrics on http://%s/metrics\n", bound)
+	}
+	runErr := f.prof.Run(fn)
+	if reg == nil {
+		return runErr
+	}
+	if *f.out != "" {
+		if err := f.writeSnapshot(*f.out, reg); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+	reg.Report(os.Stderr)
+	return runErr
+}
+
+func (f *FlagSet) writeSnapshot(path string, reg *Registry) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry snapshot as
+// JSON. Each request takes a fresh snapshot, so the endpoint is a live
+// view of the run.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// Serve starts the introspection listener on addr (":0" picks a free
+// port) and returns the bound address plus a shutdown function. The
+// mux carries the whole runtime-visibility story in one place:
+//
+//	/metrics        the live registry snapshot (SchemaV1 JSON)
+//	/debug/vars     expvar (cmdline, memstats)
+//	/debug/pprof/   the standard pprof index (profile, heap, trace, …)
+//
+// Offline profiling keeps working through internal/prof's
+// -cpuprofile/-memprofile; this endpoint adds the on-demand variant for
+// long-lived runs.
+func Serve(addr string, r *Registry) (bound string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "endpoints: /metrics /debug/vars /debug/pprof/")
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

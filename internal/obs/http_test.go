@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestServeEndpoints boots the listener on a free port and checks the
+// three surfaces respond: /metrics with a parseable obs/v1 snapshot,
+// /debug/vars (expvar) and /debug/pprof/ (the pprof index).
+func TestServeEndpoints(t *testing.T) {
+	r := New()
+	r.Counter("stream.engine.days").Add(7)
+	bound, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + bound + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	var s Snapshot
+	if err := json.Unmarshal(get("/metrics"), &s); err != nil {
+		t.Fatalf("/metrics did not parse: %v", err)
+	}
+	if s.Schema != SchemaV1 || s.Counters["stream.engine.days"] != 7 {
+		t.Fatalf("/metrics snapshot = %+v", s)
+	}
+	if body := get("/debug/vars"); len(body) == 0 {
+		t.Fatal("/debug/vars empty")
+	}
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Fatal("/debug/pprof/ empty")
+	}
+}

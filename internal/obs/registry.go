@@ -1,0 +1,78 @@
+package obs
+
+import "sync"
+
+// Registry is a named metric store with cheap get-or-create lookup.
+// Handles are resolved once at construction time (NewEngine,
+// NewSimSource, Engine.Instrument, …) and held as pointers, so the hot
+// path never touches the registry — the mutex only guards registration.
+//
+// A nil *Registry is the disabled state: every lookup returns a nil
+// handle, whose methods are no-ops. That lets call sites wire a
+// registry through unconditionally and pay one branch when it is off.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New builds an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first lookup.
+// Repeated lookups return the same handle. Nil registry: nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first lookup. Nil
+// registry: nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// writer shard count on first lookup; the first creation fixes the
+// sizing (later lookups return the existing histogram regardless of
+// shards — Shard wraps modulo the real count, so any index stays
+// valid). Nil registry: nil.
+func (r *Registry) Histogram(name string, shards int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(shards)
+		r.hists[name] = h
+	}
+	return h
+}

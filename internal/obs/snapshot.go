@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SchemaV1 identifies the snapshot JSON schema. The schema is a
+// first-class artifact — end-of-run snapshots sit next to the
+// BENCH_<sha>.json files and are diffed by cmd/benchdiff (-obs), so
+// field names and semantics are stable: additions are allowed, renames
+// and removals are not.
+const SchemaV1 = "obs/v1"
+
+// Snapshot is one consistent-enough read of a registry: every counter
+// and gauge value, and every histogram with its shards merged. Map keys
+// marshal sorted (encoding/json sorts string keys), so two snapshots of
+// the same run state are byte-identical.
+type Snapshot struct {
+	Schema     string                  `json:"schema"`
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state. Safe to call
+// concurrently with writers (each metric is read atomically); a nil
+// registry yields an empty snapshot with the schema stamp.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Schema:     SchemaV1,
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// Report writes the human exit table: counters, gauges, then
+// histograms with count / mean / p50 / p90 / max — the
+// how-did-the-run-behave summary printed at exit when metrics are on
+// (see PERFORMANCE.md, "Observability", for how to read it).
+func (r *Registry) Report(w io.Writer) {
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) == 0 {
+		fmt.Fprintln(w, "obs: no metrics recorded")
+		return
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(w, "%-36s %16s\n", "counter", "value")
+		for _, k := range sortedKeys(s.Counters) {
+			fmt.Fprintf(w, "%-36s %16s\n", k, fmtCount(k, s.Counters[k]))
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(w, "%-36s %16s\n", "gauge", "value")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "%-36s %16s\n", k, fmtCount(k, s.Gauges[k]))
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(w, "%-36s %10s %10s %10s %10s %10s\n",
+			"histogram", "count", "mean", "p50", "p90", "max")
+		keys := make([]string, 0, len(s.Histograms))
+		for k := range s.Histograms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h := s.Histograms[k]
+			fmt.Fprintf(w, "%-36s %10d %10s %10s %10s %10s\n",
+				k, h.Count, fmtNs(h.MeanNs), fmtNs(h.P50Ns), fmtNs(h.P90Ns), fmtNs(float64(h.MaxNs)))
+		}
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtCount renders a counter/gauge value; names ending in _ns hold
+// accumulated nanoseconds and render as durations.
+func fmtCount(name string, v int64) string {
+	if len(name) > 3 && name[len(name)-3:] == "_ns" {
+		return fmtNs(float64(v))
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// fmtNs renders nanoseconds human-readably.
+func fmtNs(ns float64) string {
+	if ns <= 0 {
+		return "0"
+	}
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

@@ -5,10 +5,35 @@
 package prof
 
 import (
+	"flag"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// FlagSet holds the standard profiling flags. Every binary used to
+// re-declare -cpuprofile/-memprofile by hand; Flags registers them once
+// and Run wires them through, so the four binaries share one spelling.
+type FlagSet struct {
+	CPUProfile *string
+	MemProfile *string
+}
+
+// Flags registers -cpuprofile and -memprofile on the default flag set.
+// Call before flag.Parse; binaries that also want live metrics use
+// obs.Flags, which embeds this.
+func Flags() *FlagSet {
+	return &FlagSet{
+		CPUProfile: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		MemProfile: flag.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Run executes fn under the parsed profile flags (see the package-level
+// Run for the semantics).
+func (f *FlagSet) Run(fn func() error) error {
+	return Run(*f.CPUProfile, *f.MemProfile, fn)
+}
 
 // StartCPU begins a CPU profile written to path and returns the stop
 // function that ends it and closes the file. An empty path is a no-op

@@ -1,11 +1,13 @@
 package stream
 
 import (
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
 
 	"repro/internal/mobsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/signaling"
 	"repro/internal/timegrid"
@@ -41,6 +43,15 @@ type Config struct {
 	// traffic.Engine.DayAppendSharded). <= 1 keeps the bit-identical
 	// serial DayAppend.
 	EngineShards int
+	// Metrics, when non-nil, instruments everything built from this
+	// config — the engine's stage timings and per-shard record counts,
+	// the source's worker busy/idle and re-sequencing stalls, the buffer
+	// pool's hit rate, and (via traffic.Engine.Instrument) KPI day
+	// latency. Handles resolve at construction, so the hot path performs
+	// only atomic updates and stays at 0 allocs/op; nil (the default)
+	// keeps the pipeline bit-identical and entirely uninstrumented. See
+	// PERFORMANCE.md, "Observability", for the metric catalog.
+	Metrics *obs.Registry
 }
 
 // WithDefaults returns the config with unset fields resolved.
@@ -113,6 +124,52 @@ type Engine struct {
 	eventIdx [][]int
 
 	sem chan struct{}
+
+	// m holds the engine's metric handles; nil when cfg.Metrics is unset
+	// (the default), in which case runDay takes no timestamps at all.
+	m *engineMetrics
+}
+
+// engineMetrics are the engine's handles, resolved once in NewEngine so
+// runDay never touches the registry. Per-shard counters are indexed by
+// shard — the partition is stable (ShardOfUser/ShardOfCell), so shard NN
+// tallies the same users every day and the counts expose partition skew.
+type engineMetrics struct {
+	days       *obs.Counter   // stream.engine.days: days merged
+	shardStage *obs.Histogram // stream.engine.shard_stage_ns: parallel stage latency per day
+	mergeStage *obs.Histogram // stream.engine.merge_stage_ns: serial merge latency per day
+	traces     []*obs.Counter // stream.shard.NN.traces
+	visits     []*obs.Counter // stream.shard.NN.visits
+}
+
+func newEngineMetrics(r *obs.Registry, shards int) *engineMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &engineMetrics{
+		days:       r.Counter("stream.engine.days"),
+		shardStage: r.Histogram("stream.engine.shard_stage_ns", 1),
+		mergeStage: r.Histogram("stream.engine.merge_stage_ns", 1),
+	}
+	for i := 0; i < shards; i++ {
+		m.traces = append(m.traces, r.Counter(fmt.Sprintf("stream.shard.%02d.traces", i)))
+		m.visits = append(m.visits, r.Counter(fmt.Sprintf("stream.shard.%02d.visits", i)))
+	}
+	return m
+}
+
+func (m *engineMetrics) shardStageH() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.shardStage
+}
+
+func (m *engineMetrics) mergeStageH() *obs.Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.mergeStage
 }
 
 // NewEngine builds an engine; consumers are attached with the Add
@@ -123,6 +180,7 @@ func NewEngine(cfg Config) *Engine {
 	e.traceIdx = makeParts(cfg.Shards)
 	e.cellIdx = makeParts(cfg.Shards)
 	e.eventIdx = makeParts(cfg.Shards)
+	e.m = newEngineMetrics(cfg.Metrics, cfg.Shards)
 	return e
 }
 
@@ -193,6 +251,22 @@ func (e *Engine) runDay(b *DayBatch) {
 		return ShardOfUser(uint64(b.Events[i].User), s)
 	})
 
+	if m := e.m; m != nil {
+		m.days.Inc()
+		// Per-shard record tallies: O(traces) integer adds, only when
+		// metrics are on. The partition is stable, so these expose skew
+		// across the run, not per-day noise.
+		for sh := 0; sh < s; sh++ {
+			idx := e.traceIdx[sh]
+			nv := 0
+			for _, i := range idx {
+				nv += len(b.Traces[i].Visits)
+			}
+			m.traces[sh].Add(int64(len(idx)))
+			m.visits[sh].Add(int64(nv))
+		}
+	}
+
 	for _, sh := range e.traceSharders {
 		sh.BeginDay(b.Day, b.Traces)
 	}
@@ -203,6 +277,7 @@ func (e *Engine) runDay(b *DayBatch) {
 		sh.BeginDay(b.Day, b.Events)
 	}
 
+	ssp := obs.Start(e.m.shardStageH())
 	var wg sync.WaitGroup
 	run := func(task func()) {
 		wg.Add(1)
@@ -237,8 +312,10 @@ func (e *Engine) runDay(b *DayBatch) {
 		}
 	}
 	wg.Wait()
+	ssp.End()
 
 	// Merge stage: strictly serial, fixed order.
+	msp := obs.Start(e.m.mergeStageH())
 	for _, sh := range e.traceSharders {
 		sh.EndDay(b.Day)
 	}
@@ -256,6 +333,7 @@ func (e *Engine) runDay(b *DayBatch) {
 			c.ConsumeDay(b.Day, b.Cells)
 		}
 	}
+	msp.End()
 }
 
 // partition fills parts with the indices 0..n-1 grouped by shardOf,

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mobsim"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 )
 
@@ -25,6 +26,25 @@ import (
 // exactly one producer until its batch is released.
 type BufferPool struct {
 	free chan *dayStore
+
+	// hits/misses count draws served from the free list versus fresh
+	// allocations (stream.pool.hits / stream.pool.misses); nil — a no-op
+	// Add — until Instrument is called. A healthy steady state is all
+	// hits after the warmup window; a growing miss count means the pool
+	// is undersized for the in-flight window or batches are not released.
+	hits   *obs.Counter
+	misses *obs.Counter
+}
+
+// Instrument resolves the pool's hit/miss counters from r (nil registry:
+// no-op) and returns the receiver. Call before the pool is shared across
+// goroutines — the handles are plain fields, written once here.
+func (p *BufferPool) Instrument(r *obs.Registry) *BufferPool {
+	if r != nil {
+		p.hits = r.Counter("stream.pool.hits")
+		p.misses = r.Counter("stream.pool.misses")
+	}
+	return p
 }
 
 // dayStore is one recyclable backing store for a produced day.
@@ -54,10 +74,12 @@ func NewBufferPool(capacity int) *BufferPool {
 func (p *BufferPool) get() *dayStore {
 	select {
 	case r := <-p.free:
+		p.hits.Inc()
 		r.out.Store(true)
 		return r
 	default:
 	}
+	p.misses.Inc()
 	r := &dayStore{buf: mobsim.NewDayBuffer()}
 	r.recycle = func() {
 		if !r.out.CompareAndSwap(true, false) {

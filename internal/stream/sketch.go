@@ -32,11 +32,11 @@ type QSketch struct {
 // values (MB, users, load fractions, Mbps, loss percentages) all fall
 // well inside it.
 const (
-	sketchBPD = 32    // bins per decade
-	sketchLo  = 1e-9  // smallest resolvable magnitude
-	sketchHi  = 1e12  // largest resolvable magnitude
-	sketchLgL = -9.0  // log10(sketchLo)
-	sketchLgH = 12.0  // log10(sketchHi)
+	sketchBPD = 32   // bins per decade
+	sketchLo  = 1e-9 // smallest resolvable magnitude
+	sketchHi  = 1e12 // largest resolvable magnitude
+	sketchLgL = -9.0 // log10(sketchLo)
+	sketchLgH = 12.0 // log10(sketchHi)
 )
 
 const sketchBins = int((sketchLgH - sketchLgL) * sketchBPD)

@@ -3,8 +3,10 @@ package stream
 import (
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/mobsim"
+	"repro/internal/obs"
 	"repro/internal/signaling"
 	"repro/internal/timegrid"
 	"repro/internal/traffic"
@@ -63,6 +65,31 @@ type SimSource struct {
 	out  chan DayBatch
 	done chan struct{}
 	pool *BufferPool
+	m    *sourceMetrics
+}
+
+// sourceMetrics are the source's handles, resolved once in
+// NewSimSourcePooled. When nil (the default) the producer loop takes no
+// timestamps at all — the disabled path does zero clock reads.
+type sourceMetrics struct {
+	busy       *obs.Counter   // stream.worker.busy_ns: producing (DayInto + DayAppend)
+	idle       *obs.Counter   // stream.worker.idle_ns: waiting for the window or the sequencer
+	produce    *obs.Histogram // stream.produce_day_ns: per-day production latency, one shard per worker
+	stall      *obs.Histogram // stream.resequence.stall_ns: wait of a done day on its predecessors
+	outOfOrder *obs.Counter   // stream.resequence.out_of_order: days finishing ahead of the emit cursor
+}
+
+func newSourceMetrics(r *obs.Registry, workers int) *sourceMetrics {
+	if r == nil {
+		return nil
+	}
+	return &sourceMetrics{
+		busy:       r.Counter("stream.worker.busy_ns"),
+		idle:       r.Counter("stream.worker.idle_ns"),
+		produce:    r.Histogram("stream.produce_day_ns", workers),
+		stall:      r.Histogram("stream.resequence.stall_ns", 1),
+		outOfOrder: r.Counter("stream.resequence.out_of_order"),
+	}
 }
 
 // NewSimSource streams days [first, limit). A nil engine skips KPI
@@ -83,12 +110,17 @@ func NewSimSource(sim *mobsim.Simulator, eng *traffic.Engine, first, limit timeg
 func NewSimSourcePooled(sim *mobsim.Simulator, eng *traffic.Engine, first, limit timegrid.SimDay, cfg Config, pool *BufferPool) *SimSource {
 	cfg = cfg.WithDefaults()
 	if pool == nil {
-		pool = NewBufferPool(cfg.Workers + cfg.Buffer)
+		// Only a pool this source created gets instrumented here: a
+		// shared pool's handles are owned by whoever built it (sweep
+		// workers instrument theirs in newSweepWorker), and rewriting
+		// them from a source would race with concurrent draws.
+		pool = NewBufferPool(cfg.Workers + cfg.Buffer).Instrument(cfg.Metrics)
 	}
 	s := &SimSource{
 		out:  make(chan DayBatch),
 		done: make(chan struct{}),
 		pool: pool,
+		m:    newSourceMetrics(cfg.Metrics, cfg.Workers),
 	}
 	go s.run(sim, eng, first, limit, cfg)
 	return s
@@ -125,7 +157,12 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 
 	// Clone the per-worker engines before any worker starts: Clone
 	// snapshots the engine struct, which races with the scratch writes
-	// of a DayAppend already running on the original.
+	// of a DayAppend already running on the original. Instrument before
+	// cloning, so every clone shares the original's metric handles and
+	// the whole pool aggregates into one traffic.day_ns.
+	if eng != nil {
+		eng.Instrument(cfg.Metrics)
+	}
 	engines := make([]*traffic.Engine, cfg.Workers)
 	for w := range engines {
 		engines[w] = eng
@@ -133,9 +170,20 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 			engines[w] = eng.Clone()
 		}
 	}
+	m := s.m
 	for w := 0; w < cfg.Workers; w++ {
-		go func(eng *traffic.Engine) {
+		go func(w int, eng *traffic.Engine) {
+			// psh is this worker's private produce-latency shard; nil
+			// (no-op) when metrics are off.
+			var psh *obs.HistShard
+			if m != nil {
+				psh = m.produce.Shard(w)
+			}
 			for {
+				var t0 time.Time
+				if m != nil {
+					t0 = time.Now()
+				}
 				select {
 				case sem <- struct{}{}:
 				case <-s.done:
@@ -145,6 +193,11 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 				if day >= limit {
 					<-sem
 					return
+				}
+				var t1 time.Time
+				if m != nil {
+					t1 = time.Now()
+					m.idle.Add(int64(t1.Sub(t0)))
 				}
 				res := s.pool.get()
 				b := DayBatch{Day: day, Traces: sim.DayInto(res.buf, day), Recycle: res.recycle}
@@ -156,16 +209,35 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 					}
 					b.Cells = res.cells
 				}
+				var t2 time.Time
+				if m != nil {
+					t2 = time.Now()
+					busy := int64(t2.Sub(t1))
+					m.busy.Add(busy)
+					psh.Observe(busy)
+				}
 				select {
 				case results <- b:
 				case <-s.done:
 					return
 				}
+				if m != nil {
+					m.idle.Add(int64(time.Since(t2)))
+				}
 			}
-		}(engines[w])
+		}(w, engines[w])
 	}
 
-	// Sequencer: emit in day order.
+	// Sequencer: emit in day order. When metrics are on, a day that
+	// finishes ahead of the emit cursor is stamped on arrival and its
+	// stall — the time it sits in pending waiting for its predecessors —
+	// is recorded when it finally emits. High stall times mean one slow
+	// day is serializing the window (grow Buffer, or chase the slow day
+	// via stream.produce_day_ns).
+	var arrived map[timegrid.SimDay]time.Time
+	if m != nil {
+		arrived = make(map[timegrid.SimDay]time.Time, window)
+	}
 	pending := make(map[timegrid.SimDay]DayBatch, window)
 	emit := first
 	for received := 0; received < total; {
@@ -177,12 +249,22 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 		}
 		received++
 		pending[b.Day] = b
+		if m != nil && b.Day != emit {
+			m.outOfOrder.Inc()
+			arrived[b.Day] = time.Now()
+		}
 		for {
 			nb, ok := pending[emit]
 			if !ok {
 				break
 			}
 			delete(pending, emit)
+			if m != nil {
+				if t, ok := arrived[emit]; ok {
+					m.stall.Observe(int64(time.Since(t)))
+					delete(arrived, emit)
+				}
+			}
 			select {
 			case s.out <- nb:
 			case <-s.done:

@@ -1,12 +1,14 @@
 package traffic
 
 import (
+	"fmt"
 	"slices"
 	"sort"
 	"sync"
 
 	"repro/internal/census"
 	"repro/internal/mobsim"
+	"repro/internal/obs"
 	"repro/internal/pandemic"
 	"repro/internal/popsim"
 	"repro/internal/radio"
@@ -168,6 +170,87 @@ type Engine struct {
 	// otherwise force a heap escape per day. Callbacks already must copy
 	// what they keep — the record is rewritten every cell-hour.
 	ch CellHour
+
+	// obs holds the engine's resolved metric handles; nil when the engine
+	// is uninstrumented (the default). Clones share the pointer, so every
+	// worker clone of an instrumented engine aggregates into the same
+	// metrics.
+	obs *engineObs
+}
+
+// engineObs bundles the engine's metric handles, resolved once by
+// Instrument so the day loop never touches the registry. Per-shard visit
+// counters are created lazily under the mutex the first time a shard
+// index appears (shard counts are a call-site choice, not known at
+// instrument time); steady-state lookups only lock and index.
+type engineObs struct {
+	reg     *obs.Registry
+	dayNs   *obs.Histogram // traffic.day_ns: whole DayAppend[Sharded] latency
+	mergeNs *obs.Histogram // traffic.shard_merge_ns: sharded-path tile merge
+	visits  *obs.Counter   // traffic.visits: visit records accumulated
+
+	mu          sync.Mutex
+	shardVisits []*obs.Counter // traffic.shard.NN.visits
+}
+
+func (o *engineObs) day() *obs.Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.dayNs
+}
+
+func (o *engineObs) merge() *obs.Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.mergeNs
+}
+
+func (o *engineObs) total() *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	return o.visits
+}
+
+// shardCounter returns the visit counter of shard s, creating the
+// counters up through s on first sight (the only allocating path; after
+// that the lookup is a lock and an index, so the sharded day stays
+// allocation-free at steady state).
+func (o *engineObs) shardCounter(s int) *obs.Counter {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	for len(o.shardVisits) <= s {
+		o.shardVisits = append(o.shardVisits,
+			o.reg.Counter(fmt.Sprintf("traffic.shard.%02d.visits", len(o.shardVisits))))
+	}
+	c := o.shardVisits[s]
+	o.mu.Unlock()
+	return c
+}
+
+// Instrument resolves the engine's metric handles from r and returns the
+// receiver. A nil registry leaves the engine uninstrumented; repeated
+// calls with the same registry are no-ops, so sweep workers can
+// instrument once and rebind scenarios freely. Instrumentation only
+// observes: records stay bit-identical to an uninstrumented engine's.
+func (e *Engine) Instrument(r *obs.Registry) *Engine {
+	if r == nil {
+		return e
+	}
+	if e.obs != nil && e.obs.reg == r {
+		return e
+	}
+	e.obs = &engineObs{
+		reg:     r,
+		dayNs:   r.Histogram("traffic.day_ns", 1),
+		mergeNs: r.Histogram("traffic.shard_merge_ns", 1),
+		visits:  r.Counter("traffic.visits"),
+	}
+	return e
 }
 
 // NewEngine builds the KPI engine.
@@ -260,10 +343,14 @@ func (e *Engine) Day(day timegrid.SimDay, traces []mobsim.DayTrace) []CellDay {
 // of records without heap allocation. Records are bit-identical to
 // Day's.
 func (e *Engine) DayAppend(dst []CellDay, day timegrid.SimDay, traces []mobsim.DayTrace) []CellDay {
+	sp := obs.Start(e.obs.day())
 	e.dayF = e.dayFactorsFor(day)
 	e.tile.beginDay()
-	e.accumulateRange(&e.tile, day, &e.dayF, traces, 0, len(traces))
-	return e.reduceAppend(dst, day, &e.dayF)
+	nv := e.accumulateRange(&e.tile, day, &e.dayF, traces, 0, len(traces))
+	dst = e.reduceAppend(dst, day, &e.dayF)
+	e.obs.total().Add(int64(nv))
+	sp.End()
+	return dst
 }
 
 // reduceAppend runs the reduction over the canonical tile, staging each
@@ -341,8 +428,10 @@ func (e *Engine) dayFactorsFor(day timegrid.SimDay) dayFactors {
 // left-to-right float association, so records stay bit-identical), which
 // collapses the per-visit-hour body to five fused multiply-adds on table
 // lookups. It touches only the tile and read-only engine state, so
-// disjoint ranges may run concurrently on distinct tiles.
-func (e *Engine) accumulateRange(t *accTile, day timegrid.SimDay, f *dayFactors, traces []mobsim.DayTrace, lo, hi int) {
+// disjoint ranges may run concurrently on distinct tiles. Returns the
+// number of visit records folded, which the instrumented paths feed to
+// the visit counters.
+func (e *Engine) accumulateRange(t *accTile, day timegrid.SimDay, f *dayFactors, traces []mobsim.DayTrace, lo, hi int) int {
 	p := &e.params
 
 	// The three visit classes, computed once per day: non-residence,
@@ -362,8 +451,10 @@ func (e *Engine) accumulateRange(t *accTile, day timegrid.SimDay, f *dayFactors,
 	}
 
 	tab := &t.tab
+	visits := 0
 	for i := lo; i < hi; i++ {
 		tr := &traces[i]
+		visits += len(tr.Visits)
 		usrc := rng.Stream2(e.seed, uint64(tr.User), uint64(day))
 		// Per-user-day appetite dispersion.
 		quirk := 0.70 + 0.60*usrc.Float64()
@@ -401,6 +492,7 @@ func (e *Engine) accumulateRange(t *accTile, day timegrid.SimDay, f *dayFactors,
 			}
 		}
 	}
+	return visits
 }
 
 // reduce turns the canonical tile into per-cell-hour KPI records:

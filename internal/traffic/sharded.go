@@ -5,13 +5,17 @@ import (
 	"sync"
 
 	"repro/internal/mobsim"
+	"repro/internal/obs"
 	"repro/internal/timegrid"
 )
 
 // shardTask is one accumulation unit handed to the pool: fold
 // traces[lo:hi] into tile under the day's factors, then signal wg. The
 // task is self-contained, so tasks from different engines interleave on
-// the same workers safely.
+// the same workers safely. The counters are the instrumented path's
+// per-shard and whole-engine visit tallies; nil (a no-op Add) when the
+// engine is uninstrumented, which keeps the task a plain struct send —
+// still zero heap allocations either way.
 type shardTask struct {
 	e      *Engine
 	tile   *accTile
@@ -20,6 +24,8 @@ type shardTask struct {
 	traces []mobsim.DayTrace
 	lo, hi int
 	wg     *sync.WaitGroup
+	visits *obs.Counter // traffic.shard.NN.visits
+	total  *obs.Counter // traffic.visits
 }
 
 var (
@@ -48,7 +54,9 @@ func startShardPool() {
 		for i := 0; i < n; i++ {
 			go func() {
 				for t := range shardTasks {
-					t.e.accumulateRange(t.tile, t.day, t.f, t.traces, t.lo, t.hi)
+					nv := int64(t.e.accumulateRange(t.tile, t.day, t.f, t.traces, t.lo, t.hi))
+					t.visits.Add(nv)
+					t.total.Add(nv)
 					t.wg.Done()
 				}
 			}()
@@ -85,9 +93,12 @@ func (e *Engine) dayAppendSharded(dst []CellDay, day timegrid.SimDay, traces []m
 	if shards <= 1 {
 		return e.DayAppend(dst, day, traces)
 	}
+	sp := obs.Start(e.obs.day())
 	e.dayF = e.dayFactorsFor(day)
 	e.accumulateSharded(day, traces, shards, inline)
-	return e.reduceAppend(dst, day, &e.dayF)
+	dst = e.reduceAppend(dst, day, &e.dayF)
+	sp.End()
+	return dst
 }
 
 // accumulateSharded runs the partitioned accumulation and the canonical
@@ -108,18 +119,22 @@ func (e *Engine) accumulateSharded(day timegrid.SimDay, traces []mobsim.DayTrace
 		t := &e.tiles[s]
 		t.beginDay()
 		lo, hi := s*n/shards, (s+1)*n/shards
+		vc := e.obs.shardCounter(s)
 		if inline || lo == hi {
-			e.accumulateRange(t, day, &e.dayF, traces, lo, hi)
+			nv := int64(e.accumulateRange(t, day, &e.dayF, traces, lo, hi))
+			vc.Add(nv)
+			e.obs.total().Add(nv)
 			continue
 		}
 		e.shardWG.Add(1)
-		shardTasks <- shardTask{e: e, tile: t, day: day, f: &e.dayF, traces: traces, lo: lo, hi: hi, wg: e.shardWG}
+		shardTasks <- shardTask{e: e, tile: t, day: day, f: &e.dayF, traces: traces, lo: lo, hi: hi, wg: e.shardWG, visits: vc, total: e.obs.total()}
 	}
 	e.shardWG.Wait()
 
 	// Merge in shard-index order (and, within a shard, in the shard's
 	// first-touch journal order): the one canonical addition sequence,
 	// invariant to pool scheduling.
+	msp := obs.Start(e.obs.merge())
 	e.tile.beginDay()
 	for s := 0; s < shards; s++ {
 		t := &e.tiles[s]
@@ -135,4 +150,5 @@ func (e *Engine) accumulateSharded(day timegrid.SimDay, traces []mobsim.DayTrace
 			}
 		}
 	}
+	msp.End()
 }

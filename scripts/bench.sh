@@ -43,6 +43,14 @@ fi
 benchtime="${BENCHTIME:-1x}"
 pattern="${BENCH:-SimDayInto|SimulateDay|EngineDay|DayMetrics|MergeVisits|RunStandardSerial|StreamWorkers1\$|SweepSerial|SweepParallel}"
 
+# Runner metadata: numbers are only comparable between snapshots taken on
+# similar hardware, so record what ran them. benchdiff warns when the two
+# snapshots it diffs disagree on core count.
+go_version=$(go version | { read -r _ _ v _; echo "$v"; })
+numcpu=$( { getconf _NPROCESSORS_ONLN || nproc || echo 0; } 2>/dev/null)
+maxprocs="${GOMAXPROCS:-$numcpu}"
+commit_date=$(git show -s --format=%cI HEAD 2>/dev/null || echo "")
+
 raw=$(go test -run='^$' -bench="$pattern" -benchtime="$benchtime" -benchmem .)
 printf '%s\n' "$raw" >&2
 
@@ -51,6 +59,10 @@ out="$out_dir/BENCH_${sha}.json"
   printf '{\n'
   printf '  "sha": "%s",\n' "$sha"
   printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "commit_date": "%s",\n' "$commit_date"
+  printf '  "go": "%s",\n' "$go_version"
+  printf '  "gomaxprocs": %s,\n' "$maxprocs"
+  printf '  "numcpu": %s,\n' "$numcpu"
   printf '  "benchtime": "%s",\n' "$benchtime"
   printf '  "results": [\n'
   printf '%s\n' "$raw" | awk '

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# obs_check.sh -- observability layering gate.
+#
+# Two invariants, both cheap and both load-bearing for the PR 6 design:
+#
+#  1. repro/internal/obs stays dependency-light: its only repro
+#     dependency is repro/internal/prof (for the shared profiling
+#     flags). If obs ever grows a dependency on a domain package, the
+#     "instrument anything without import cycles" property dies.
+#
+#  2. The leaf compute packages -- the ones whose hot paths carry the
+#     0 allocs/op pins and bit-identical goldens -- must not call into
+#     internal/obs. Instrumentation lives in the orchestration layers
+#     (stream, traffic engine plumbing, experiments, cmd/*); a metrics
+#     call inside a leaf kernel is a layering bug even when it is
+#     nil-safe.
+#
+# Run from the repository root: sh scripts/obs_check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1: obs dependency closure ------------------------------------------
+deps=$(go list -deps repro/internal/obs | grep '^repro' | grep -v -e '^repro/internal/obs$' -e '^repro/internal/prof$' || true)
+if [ -n "$deps" ]; then
+    echo "FAIL: repro/internal/obs depends on domain packages:" >&2
+    echo "$deps" >&2
+    fail=1
+fi
+
+# --- 2: no obs call sites in leaf compute packages ----------------------
+# Everything under internal/ except the orchestration layers that are
+# allowed (and expected) to instrument: stream, traffic, experiments --
+# plus obs itself and prof.
+leaves="census core devices epi feeds geo mobsim pandemic popsim radio report rng scenario signaling stats timegrid"
+for pkg in $leaves; do
+    importers=$(go list -f '{{.ImportPath}} {{join .Imports " "}} {{join .TestImports " "}}' "repro/internal/$pkg" | grep -c 'repro/internal/obs' || true)
+    if [ "$importers" -ne 0 ]; then
+        echo "FAIL: leaf package repro/internal/$pkg imports repro/internal/obs" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "obs layering OK: obs depends only on prof; no leaf package imports obs"
