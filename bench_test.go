@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"bytes"
 	"sync"
 	"testing"
@@ -517,7 +518,7 @@ func benchmarkStream(b *testing.B, workers int) {
 	cfg := experiments.DefaultConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if r := experiments.RunStreaming(cfg, workers); r.KPI == nil {
+		if r, err := experiments.RunStreaming(context.Background(), cfg, workers); err != nil || r.KPI == nil {
 			b.Fatal("no KPI analyzer")
 		}
 	}
@@ -535,7 +536,7 @@ func BenchmarkStreamSimSource(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		src := stream.NewSimSource(d.Sim, d.Engine,
+		src := stream.NewSimSource(context.Background(), d.Sim, d.Engine,
 			timegrid.SimDay(timegrid.StudyDayOffset), timegrid.SimDay(timegrid.StudyDayOffset+7),
 			stream.Config{Workers: 4})
 		days := 0
@@ -596,7 +597,7 @@ func BenchmarkSweepSerial(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if runs := experiments.RunSweep(w, cfg, scfg, scens); len(runs) != len(scens) {
+		if runs, err := experiments.RunSweep(context.Background(), w, cfg, scfg, scens); err != nil || len(runs) != len(scens) {
 			b.Fatal("short sweep")
 		}
 	}
@@ -613,7 +614,7 @@ func benchmarkSweepParallel(b *testing.B, parallel int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if runs := experiments.RunSweepParallel(w, cfg, scfg, scens, parallel); len(runs) != len(scens) {
+		if runs, err := experiments.RunSweepParallel(context.Background(), w, cfg, scfg, scens, parallel); err != nil || len(runs) != len(scens) {
 			b.Fatal("short sweep")
 		}
 	}

@@ -19,11 +19,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mobsim"
@@ -64,10 +66,7 @@ func main() {
 		run("offload", ablateOffload)
 		return nil
 	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ablate:", err)
-		os.Exit(1)
-	}
+	cli.Exit("ablate", err)
 }
 
 // ablateScenario compares counterfactual timelines on the parallel
@@ -88,7 +87,11 @@ func ablateScenario(w *experiments.World) {
 		}
 		scens = append(scens, experiments.SweepScenario{Name: name, Scenario: s})
 	}
-	runs := experiments.RunSweepParallel(w, cfg, stream.Config{Workers: 1}, scens, 2)
+	runs, err := experiments.RunSweepParallel(context.Background(), w, cfg, stream.Config{Workers: 1}, scens, 2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
 	for _, run := range runs {
 		for _, h := range run.Headlines {
 			if h.Name == "gyration trough Δ%" {

@@ -6,6 +6,10 @@
 //
 //	mnosim  -out data -users 4000 -seed 7 -raw
 //	analyze -traces data/traces.csv -users 4000 -seed 7
+//
+// Corrupt feed rows abort the replay with file:line context by
+// default; -lenient skips and reports them instead (still exit 0).
+// Exit codes: 0 success, 1 runtime failure, 2 bad usage.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/feeds"
@@ -26,40 +31,50 @@ func main() {
 		tracesPath = flag.String("traces", "", "trace feed CSV (from mnosim -raw)")
 		users      = flag.Int("users", 8000, "user count of the original run")
 		seed       = flag.Uint64("seed", 42, "seed of the original run")
+		lenient    = flag.Bool("lenient", false, "skip corrupt feed rows (reported on stderr) instead of failing the replay")
 	)
 	flag.Parse()
-	if *tracesPath == "" {
-		fmt.Fprintln(os.Stderr, "analyze: -traces is required")
-		os.Exit(2)
+	cli.Exit("analyze", run(*tracesPath, *users, *seed, *lenient))
+}
+
+func run(tracesPath string, users int, seed uint64, lenient bool) error {
+	if tracesPath == "" {
+		return cli.Usagef("-traces is required")
 	}
 
 	// Rebuild the identical stack (no simulation is run).
 	cfg := experiments.DefaultConfig()
-	cfg.TargetUsers = *users
-	cfg.Seed = *seed
+	cfg.TargetUsers = users
+	cfg.Seed = seed
 	cfg.SkipKPI = true
 	d := experiments.NewDataset(cfg)
 
-	f, err := os.Open(*tracesPath)
+	f, err := os.Open(tracesPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "analyze:", err)
-		os.Exit(1)
+		return err
 	}
 	defer f.Close()
-	tr, err := feeds.NewTraceReader(f)
+	opt := feeds.Options{Name: tracesPath, Lenient: lenient}
+	if lenient {
+		opt.OnSkip = func(name string, line int, err error) {
+			fmt.Fprintf(os.Stderr, "analyze: skipping corrupt row %s:%d: %v\n", name, line, err)
+		}
+	}
+	tr, err := feeds.NewTraceReaderOpts(f, opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "analyze:", err)
-		os.Exit(1)
+		return err
 	}
 
 	hd := core.NewHomeDetector(d.Topology)
 	mob := core.NewMobilityAnalyzer(d.Pop, cfg.TopN)
 	days, err := experiments.ReplayTraces(tr, []experiments.DayConsumer{hd, mob})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "analyze:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "replayed %d days from %s\n\n", days, *tracesPath)
+	if n := tr.Skipped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "analyze: skipped %d corrupt feed rows\n", n)
+	}
+	fmt.Fprintf(os.Stderr, "replayed %d days from %s\n\n", days, tracesPath)
 
 	homes := hd.Detect()
 	scale := float64(len(d.Pop.Native())) / float64(d.Model.TotalPopulation())
@@ -73,6 +88,7 @@ func main() {
 	t.AddRow("gyration", core.DeltaSeries(gyr, stats.Mean(gyr.Values[:7])).WeeklyMeans().Values)
 	t.AddRow("entropy", core.DeltaSeries(ent, stats.Mean(ent.Values[:7])).WeeklyMeans().Values)
 	report.WriteTable(os.Stdout, &t)
+	return nil
 }
 
 func weekCols() []string {

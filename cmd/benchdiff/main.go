@@ -42,6 +42,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/obs"
 )
 
@@ -90,10 +91,7 @@ func main() {
 	} else {
 		err = run(*dir, *warn, *hot, *github, *fail)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
-	}
+	cli.Exit("benchdiff", err)
 }
 
 func run(dir string, warnPct float64, hotPattern string, github, fail bool) error {

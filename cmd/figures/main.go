@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
@@ -55,8 +56,7 @@ func main() {
 			}
 		}
 		if len(figures) == 0 {
-			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
-			os.Exit(2)
+			cli.Exit("figures", cli.Usagef("unknown figure %q", *fig))
 		}
 	}
 
@@ -87,7 +87,6 @@ func main() {
 		fmt.Println()
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d shape check(s) failed\n", failed)
-		os.Exit(1)
+		cli.Exit("figures", fmt.Errorf("%d shape check(s) failed", failed))
 	}
 }

@@ -1,0 +1,80 @@
+// Package cli is the shared process-boundary helper of the repro
+// commands: exit codes, usage errors and signal-driven cancellation.
+// It exists because nothing under internal/ is allowed to decide
+// process fate (scripts/fault_check.sh enforces that) — library errors
+// flow up as values, and the cmd layer converts them to exactly one
+// documented exit status here.
+//
+// Exit codes, shared by every command:
+//
+//	0  success (lenient replays that skipped corrupt rows still exit 0)
+//	1  runtime failure: the pipeline errored (injected fault, worker
+//	   panic, corrupt feed in strict mode, I/O failure)
+//	2  usage/config failure: bad flags or arguments, before any work
+//	130  interrupted: the run was cancelled by SIGINT/SIGTERM (128+SIGINT,
+//	   the shell convention); partial outputs were still flushed
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// The documented exit codes.
+const (
+	CodeOK          = 0
+	CodeRuntime     = 1
+	CodeUsage       = 2
+	CodeInterrupted = 130
+)
+
+// usageError marks an error as a config/usage failure (exit 2).
+type usageError struct{ err error }
+
+func (u *usageError) Error() string { return u.err.Error() }
+func (u *usageError) Unwrap() error { return u.err }
+
+// Usagef builds a usage/config error: Exit maps it to CodeUsage.
+func Usagef(format string, args ...any) error {
+	return &usageError{err: fmt.Errorf(format, args...)}
+}
+
+// ExitCode maps an error to the documented exit code: nil is success,
+// Usagef errors are config failures, context cancellation (anywhere in
+// the chain) is an interrupt, anything else is a runtime failure.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.As(err, new(*usageError)):
+		return CodeUsage
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return CodeInterrupted
+	default:
+		return CodeRuntime
+	}
+}
+
+// Exit reports err (prefixed with the command name) on stderr and
+// terminates the process with the mapped code. A nil err exits 0
+// silently.
+func Exit(name string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	}
+	os.Exit(ExitCode(err))
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM, and a
+// stop function releasing the signal handler. The first signal cancels
+// the context — commands then drain their pipelines and flush partial
+// outputs; a second signal kills the process with the default handler
+// (signal.NotifyContext semantics), so a wedged drain can still be
+// interrupted.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

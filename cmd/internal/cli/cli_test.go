@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	wrapped := fmt.Errorf("sweep stopped: %w", context.Canceled)
+	deepUsage := fmt.Errorf("mnosweep: %w", Usagef("bad flag %q", "-x"))
+	for _, tc := range []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, CodeOK},
+		{"runtime", errors.New("boom"), CodeRuntime},
+		{"usage", Usagef("unknown scenario %q", "x"), CodeUsage},
+		{"wrapped usage", deepUsage, CodeUsage},
+		{"canceled", context.Canceled, CodeInterrupted},
+		{"wrapped canceled", wrapped, CodeInterrupted},
+		{"deadline", context.DeadlineExceeded, CodeInterrupted},
+	} {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestUsagefWraps(t *testing.T) {
+	inner := errors.New("inner")
+	err := Usagef("context: %w", inner)
+	if !errors.Is(err, inner) {
+		t.Error("Usagef does not preserve the wrapped chain")
+	}
+	if err.Error() != "context: inner" {
+		t.Errorf("message = %q", err.Error())
+	}
+}
+
+func TestSignalContextCancels(t *testing.T) {
+	ctx, stop := SignalContext()
+	if ctx.Err() != nil {
+		t.Fatal("fresh signal context already cancelled")
+	}
+	stop()
+	// After stop the context is released; a command can call stop
+	// unconditionally in a defer.
+}

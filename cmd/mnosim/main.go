@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -57,10 +58,7 @@ func main() {
 	err := pf.Run(func() error {
 		return run(*out, *users, *seed, *scen, *raw)
 	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mnosim:", err)
-		os.Exit(1)
-	}
+	cli.Exit("mnosim", err)
 }
 
 func run(out string, users int, seed uint64, scenName string, raw bool) error {
@@ -74,7 +72,7 @@ func run(out string, users int, seed uint64, scenName string, raw bool) error {
 	if scenName != "" {
 		s, err := scenario.Load(scenName)
 		if err != nil {
-			return err
+			return cli.Usagef("%w", err)
 		}
 		cfg.Scenario = s
 	}

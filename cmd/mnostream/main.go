@@ -30,6 +30,15 @@
 // scenario is already baked into the replayed traces, so the flag is
 // rejected; the feed's own scenario is recorded in its meta sidecar.
 //
+// Reliability (see RELIABILITY.md): corrupt feed rows abort a replay
+// with file:line context by default; -lenient skips them instead,
+// reporting each on stderr and the total at exit (still exit 0).
+// SIGINT/SIGTERM cancels the run but still flushes the -metrics-out
+// snapshot before exiting 130. -fault arms the deterministic fault
+// harness (site:kind:key rules, internal/fault) for chaos drills.
+// Exit codes: 0 success, 1 runtime failure, 2 bad usage, 130
+// interrupted.
+//
 // Observability: -metrics ADDR serves the live metric registry and
 // net/http/pprof while the run is in flight, -metrics-out FILE writes
 // the end-of-run snapshot (obs/v1 JSON, diffable with `benchdiff -obs`);
@@ -38,19 +47,23 @@
 //
 // Usage:
 //
-//	mnostream [-feeds DIR] [-users N] [-seed S] [-scenario NAME|FILE.json]
+//	mnostream [-feeds DIR] [-lenient] [-users N] [-seed S]
+//	          [-scenario NAME|FILE.json]
 //	          [-workers W] [-shards K] [-engineshards E] [-days D]
-//	          [-metrics ADDR] [-metrics-out FILE]
+//	          [-fault SPEC] [-metrics ADDR] [-metrics-out FILE]
 //	          [-cpuprofile F] [-memprofile F]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/feeds"
 	"repro/internal/mobsim"
 	"repro/internal/obs"
@@ -64,6 +77,7 @@ import (
 func main() {
 	var (
 		feedDir   = flag.String("feeds", "", "feed directory to replay (empty: run the simulator inline)")
+		lenient   = flag.Bool("lenient", false, "skip corrupt feed rows (reported on stderr) instead of failing the replay")
 		users     = flag.Int("users", 8000, "synthetic native smartphone users (must match the feed's value in -feeds mode)")
 		seed      = flag.Uint64("seed", 42, "master random seed (must match the feed's value in -feeds mode)")
 		scen      = flag.String("scenario", "", "behavioural scenario for inline mode: registry name or JSON spec file (empty: the calibrated default)")
@@ -72,21 +86,26 @@ func main() {
 		engShards = flag.Int("engineshards", 0, "intra-day KPI accumulation shards in inline mode (<=1: serial engine; sharded records differ from serial only in float association, <=1e-9 relative)")
 		days      = flag.Int("days", timegrid.SimDays, "days to stream in inline mode")
 		noSig     = flag.Bool("nosignaling", false, "skip control-plane generation in inline mode")
+		faultSpec = flag.String("fault", "", "deterministic fault injection spec: site:kind:key[:delay][,...] (see internal/fault)")
 		of        = obs.Flags()
 	)
 	flag.Parse()
 
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	err := of.Run(func() error {
-		return run(*feedDir, *users, *seed, *scen, *workers, *shards, *engShards, *days, !*noSig, of.Registry())
+		return run(ctx, *feedDir, *lenient, *users, *seed, *scen, *workers, *shards, *engShards, *days, !*noSig, *faultSpec, of.Registry())
 	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mnostream:", err)
-		os.Exit(1)
-	}
+	cli.Exit("mnostream", err)
 }
 
-func run(feedDir string, users int, seed uint64, scenName string, workers, shards, engShards, days int, withSignaling bool, reg *obs.Registry) error {
-	scfg := stream.Config{Workers: workers, Shards: shards, EngineShards: engShards, Metrics: reg}.WithDefaults()
+func run(ctx context.Context, feedDir string, lenient bool, users int, seed uint64, scenName string, workers, shards, engShards, days int, withSignaling bool, faultSpec string, reg *obs.Registry) error {
+	fi, err := fault.ParseSpec(faultSpec)
+	if err != nil {
+		return cli.Usagef("%w", err)
+	}
+	scfg := stream.Config{Workers: workers, Shards: shards, EngineShards: engShards, Metrics: reg, Fault: fi}.WithDefaults()
 
 	cfg := experiments.DefaultConfig()
 	cfg.TargetUsers = users
@@ -94,17 +113,20 @@ func run(feedDir string, users int, seed uint64, scenName string, workers, shard
 	if feedDir != "" {
 		cfg.SkipKPI = true // KPI records come from the feed, if at all
 		if scenName != "" {
-			return fmt.Errorf("-scenario only applies to inline mode; the feed in %s was generated under its own scenario", feedDir)
+			return cli.Usagef("-scenario only applies to inline mode; the feed in %s was generated under its own scenario", feedDir)
 		}
 		if engShards > 1 {
-			return fmt.Errorf("-engineshards only applies to inline mode; the feed in %s carries prebuilt KPI records", feedDir)
+			return cli.Usagef("-engineshards only applies to inline mode; the feed in %s carries prebuilt KPI records", feedDir)
 		}
 	} else if scenName != "" {
 		s, err := scenario.Load(scenName)
 		if err != nil {
-			return err
+			return cli.Usagef("%w", err)
 		}
 		cfg.Scenario = s
+	}
+	if lenient && feedDir == "" {
+		return cli.Usagef("-lenient only applies to -feeds mode; inline simulation has no corrupt rows to skip")
 	}
 	d := experiments.NewDataset(cfg)
 
@@ -117,19 +139,35 @@ func run(feedDir string, users int, seed uint64, scenName string, workers, shard
 	gen := signaling.NewGenerator(d.Pop, cfg.Seed)
 	var sig *stream.Signaling
 	var src stream.Source
+	var fs *feeds.FeedSource
 	switch {
 	case feedDir != "":
 		if meta, ok, err := feeds.ReadMeta(feedDir); err != nil {
 			return err
 		} else if ok && (meta.Users != users || meta.Seed != seed) {
-			return fmt.Errorf("feed directory was generated with -users %d -seed %d (got -users %d -seed %d); IDs in the feeds are only meaningful relative to that stack",
+			return cli.Usagef("feed directory was generated with -users %d -seed %d (got -users %d -seed %d); IDs in the feeds are only meaningful relative to that stack",
 				meta.Users, meta.Seed, users, seed)
 		}
-		fs, err := feeds.OpenDir(feedDir)
+		// Skipped-row accounting: every lenient skip is reported as it
+		// happens and counted (feeds.skipped_rows when metrics are on).
+		var skipCounter *obs.Counter
+		if reg != nil {
+			skipCounter = reg.Counter("feeds.skipped_rows")
+		}
+		opt := feeds.Options{Lenient: lenient}
+		if lenient {
+			opt.OnSkip = func(name string, line int, err error) {
+				skipCounter.Inc()
+				fmt.Fprintf(os.Stderr, "mnostream: skipping corrupt row %s:%d: %v\n", name, line, err)
+			}
+		}
+		var err error
+		fs, err = feeds.OpenDirOpts(feedDir, opt)
 		if err != nil {
 			return err
 		}
 		defer fs.Close()
+		fs.WithFault(fi)
 		sig = stream.NewSignaling(gen, d.Topology, scfg.Shards, false)
 		eng.AddEventSharder(sig.Events())
 		src = stream.Prefetch(fs, scfg.Buffer)
@@ -142,15 +180,22 @@ func run(feedDir string, users int, seed uint64, scenName string, workers, shard
 		if limit > timegrid.SimDays {
 			limit = timegrid.SimDays
 		}
-		src = stream.NewSimSource(d.Sim, d.Engine, 0, limit, scfg)
+		src = stream.NewSimSource(ctx, d.Sim, d.Engine, 0, limit, scfg)
 	}
 
 	p := &printer{mob: mob, kpi: kpi, sig: sig, start: time.Now()}
 	eng.AddTraceConsumer(p)
 
 	fmt.Println("date        day users  entropy gyr_km  cells dl_med_mb conn_med  events   fail_pct")
-	if err := eng.Run(src); err != nil {
+	if err := eng.Run(ctx, src); err != nil {
+		// The partial summary still matters on an interrupt: report how
+		// far the stream got before handing the error (and its exit
+		// code) back. The obs wrapper flushes -metrics-out either way.
+		fmt.Fprintf(os.Stderr, "mnostream: stopped after %d days: %v\n", p.daysDone, err)
 		return err
+	}
+	if fs != nil && fs.Skipped() > 0 {
+		fmt.Fprintf(os.Stderr, "mnostream: skipped %d corrupt feed rows\n", fs.Skipped())
 	}
 	fmt.Fprintf(os.Stderr, "mnostream: %d days in %v (%d workers, %d shards)\n",
 		p.daysDone, time.Since(p.start).Round(time.Millisecond), scfg.Workers, scfg.Shards)

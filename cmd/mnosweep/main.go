@@ -23,11 +23,16 @@
 // E but differ from the serial engine in float association (≤1e-9
 // relative per value); mobility columns are unaffected.
 //
-//	mnosweep -list                  # show the registry
-//	mnosweep                        # default-covid vs no-pandemic vs early-lockdown
-//	mnosweep -scenarios all -users 2000
-//	mnosweep -scenarios default-covid,./my-scenario.json
-//	mnosweep -scenarios all -parallel 4 -workers 1 -baseline no-pandemic
+// Reliability (see RELIABILITY.md): scenario runs fail independently —
+// a poisoned run is reported and the table is printed for the rest
+// (exit 1). SIGINT/SIGTERM cancels the sweep, prints the partial table
+// for the runs that finished and exits 130. -journal FILE records each
+// completed run as it lands; -resume skips those runs on restart, so an
+// interrupted or partially-failed sweep continues instead of starting
+// over, and the stitched final table is byte-identical to an
+// uninterrupted sweep. -fault arms the deterministic fault harness
+// (internal/fault; site sweep.run is keyed by run index). Exit codes:
+// 0 success, 1 runtime failure, 2 bad usage, 130 interrupted.
 //
 // Observability: -metrics ADDR serves the live metric registry and
 // net/http/pprof while the sweep is in flight, -metrics-out FILE writes
@@ -39,11 +44,13 @@
 //
 //	mnosweep [-list] [-scenarios NAMES|all] [-users N] [-seed S] [-nokpi]
 //	         [-workers W] [-shards K] [-engineshards E] [-parallel P]
-//	         [-baseline NAME] [-metrics ADDR] [-metrics-out FILE]
+//	         [-baseline NAME] [-journal FILE] [-resume] [-fault SPEC]
+//	         [-metrics ADDR] [-metrics-out FILE]
 //	         [-cpuprofile F] [-memprofile F]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,7 +58,9 @@ import (
 	"strings"
 	"time"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/scenario"
@@ -60,17 +69,20 @@ import (
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list the built-in scenario registry and exit")
-		names     = flag.String("scenarios", "default-covid,no-pandemic,early-lockdown", "comma-separated registry names and/or JSON spec files; \"all\" runs every built-in")
-		users     = flag.Int("users", 4000, "synthetic native smartphone users")
-		seed      = flag.Uint64("seed", 42, "master random seed (shared by every scenario: paired draws)")
-		noKPI     = flag.Bool("nokpi", false, "skip the traffic engine (mobility headlines only, ~3× faster)")
-		workers   = flag.Int("workers", 0, "worker goroutines per run (0: GOMAXPROCS)")
-		shards    = flag.Int("shards", 0, "logical shards (0: default)")
-		engShards = flag.Int("engineshards", 0, "intra-day KPI accumulation shards (<=1: serial engine; sharded KPI values differ from serial only in float association, <=1e-9 relative)")
-		parallel  = flag.Int("parallel", 1, "concurrent scenario runs (1: serial; output is identical either way)")
-		baseline  = flag.String("baseline", "", "scenario name to difference every other run against (prints the delta table)")
-		of        = obs.Flags()
+		list        = flag.Bool("list", false, "list the built-in scenario registry and exit")
+		names       = flag.String("scenarios", "default-covid,no-pandemic,early-lockdown", "comma-separated registry names and/or JSON spec files; \"all\" runs every built-in")
+		users       = flag.Int("users", 4000, "synthetic native smartphone users")
+		seed        = flag.Uint64("seed", 42, "master random seed (shared by every scenario: paired draws)")
+		noKPI       = flag.Bool("nokpi", false, "skip the traffic engine (mobility headlines only, ~3× faster)")
+		workers     = flag.Int("workers", 0, "worker goroutines per run (0: GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "logical shards (0: default)")
+		engShards   = flag.Int("engineshards", 0, "intra-day KPI accumulation shards (<=1: serial engine; sharded KPI values differ from serial only in float association, <=1e-9 relative)")
+		parallel    = flag.Int("parallel", 1, "concurrent scenario runs (1: serial; output is identical either way)")
+		baseline    = flag.String("baseline", "", "scenario name to difference every other run against (prints the delta table)")
+		journalPath = flag.String("journal", "", "record completed runs to this JSON-lines file as they finish")
+		resume      = flag.Bool("resume", false, "skip runs already recorded in the -journal file (requires -journal)")
+		faultSpec   = flag.String("fault", "", "deterministic fault injection spec: site:kind:key[:delay][,...] (see internal/fault)")
+		of          = obs.Flags()
 	)
 	flag.Parse()
 
@@ -78,13 +90,14 @@ func main() {
 		printRegistry()
 		return
 	}
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	err := of.Run(func() error {
-		return run(*names, *users, *seed, *noKPI, *workers, *shards, *engShards, *parallel, *baseline, of.Registry())
+		return run(ctx, *names, *users, *seed, *noKPI, *workers, *shards, *engShards, *parallel, *baseline, *journalPath, *resume, *faultSpec, of.Registry())
 	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mnosweep:", err)
-		os.Exit(1)
-	}
+	cli.Exit("mnosweep", err)
 }
 
 func printRegistry() {
@@ -108,17 +121,17 @@ func resolve(names string) ([]experiments.SweepScenario, error) {
 		}
 	}
 	if len(tokens) == 0 {
-		return nil, fmt.Errorf("no scenarios given")
+		return nil, cli.Usagef("no scenarios given")
 	}
 	out := make([]experiments.SweepScenario, 0, len(tokens))
 	for _, tok := range tokens {
 		sp, err := scenario.LoadSpec(tok)
 		if err != nil {
-			return nil, err
+			return nil, cli.Usagef("%w", err)
 		}
 		s, err := sp.Scenario()
 		if err != nil {
-			return nil, err
+			return nil, cli.Usagef("%w", err)
 		}
 		label := sp.Name
 		if label == "" {
@@ -129,10 +142,23 @@ func resolve(names string) ([]experiments.SweepScenario, error) {
 	return out, nil
 }
 
-func run(names string, users int, seed uint64, noKPI bool, workers, shards, engShards, parallel int, baseline string, reg *obs.Registry) error {
+func run(ctx context.Context, names string, users int, seed uint64, noKPI bool, workers, shards, engShards, parallel int, baseline, journalPath string, resume bool, faultSpec string, reg *obs.Registry) error {
 	scens, err := resolve(names)
 	if err != nil {
 		return err
+	}
+	fi, err := fault.ParseSpec(faultSpec)
+	if err != nil {
+		return cli.Usagef("%w", err)
+	}
+	if resume && journalPath == "" {
+		return cli.Usagef("-resume requires -journal FILE")
+	}
+	if resume && baseline != "" {
+		// The journal records headline statistics, not the per-day
+		// series DeltaTable differences, so a resumed sweep cannot
+		// rebuild the baseline comparison for its skipped runs.
+		return cli.Usagef("-baseline cannot be combined with -resume (the journal keeps headlines, not per-day series)")
 	}
 	// Validate the baseline before the sweep runs, not after: a typo'd
 	// name must not cost a full multi-scenario run only to fail at the
@@ -145,30 +171,98 @@ func run(names string, users int, seed uint64, noKPI bool, workers, shards, engS
 			found = found || sc.Name == baseline
 		}
 		if !found {
-			return fmt.Errorf("baseline %q is not part of the sweep %v", baseline, labels)
+			return cli.Usagef("baseline %q is not part of the sweep %v", baseline, labels)
 		}
 	}
 	cfg := experiments.DefaultConfig()
 	cfg.TargetUsers = users
 	cfg.Seed = seed
 	cfg.SkipKPI = noKPI
-	scfg := stream.Config{Workers: workers, Shards: shards, EngineShards: engShards, Metrics: reg}
+	scfg := stream.Config{Workers: workers, Shards: shards, EngineShards: engShards, Metrics: reg, Fault: fi}
+
+	// Journal bookkeeping: open (or resume) before any work, so a crash
+	// at any later point leaves a loadable file behind.
+	var (
+		jnl  *journal
+		done map[string][]experiments.Headline
+		opt  = experiments.SweepOptions{Parallel: parallel}
+	)
+	if journalPath != "" {
+		labels := make([]string, len(scens))
+		for i, sc := range scens {
+			labels[i] = sc.Name
+		}
+		hdr := journalHeader{V: journalVersion, Kind: "mnosweep-journal",
+			Users: users, Seed: seed, NoKPI: noKPI, Scenarios: labels}
+		jnl, done, err = openJournal(journalPath, hdr, resume)
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+		opt.OnRun = func(i int, run experiments.SweepRun) {
+			if err := jnl.record(run); err != nil {
+				fmt.Fprintf(os.Stderr, "mnosweep: journal write failed: %v\n", err)
+			}
+		}
+	}
+
+	// Split the sweep into journaled (skip) and pending (run) entries;
+	// without -resume everything is pending.
+	var pending []experiments.SweepScenario
+	for _, sc := range scens {
+		if _, ok := done[sc.Name]; !ok {
+			pending = append(pending, sc)
+		}
+	}
 
 	start := time.Now()
-	world := experiments.NewWorld(cfg)
-	fmt.Fprintf(os.Stderr, "world built in %v (%d users); sweeping %d scenarios (parallel %d)\n",
-		time.Since(start).Round(time.Millisecond), users, len(scens), parallel)
+	var runs []experiments.SweepRun
+	var sweepErr error
+	if len(pending) > 0 {
+		world := experiments.NewWorld(cfg)
+		fmt.Fprintf(os.Stderr, "world built in %v (%d users); sweeping %d scenarios (parallel %d, %d resumed from journal)\n",
+			time.Since(start).Round(time.Millisecond), users, len(pending), parallel, len(scens)-len(pending))
+		runs, sweepErr = experiments.RunSweepParallelOpts(ctx, world, cfg, scfg, pending, opt)
+	} else {
+		fmt.Fprintf(os.Stderr, "all %d scenarios already journaled; reprinting from %s\n", len(scens), journalPath)
+	}
 
-	runs := experiments.RunSweepParallel(world, cfg, scfg, scens, parallel)
-	table := experiments.SweepTable(runs)
-	table.Title = fmt.Sprintf("scenario sweep (%d users, seed %d)", users, seed)
-	report.WriteMarkdownTable(os.Stdout, &table)
-	if baseline != "" {
+	// Stitch journaled and fresh runs back into flag order, then drop
+	// failures — the table is printed for whatever completed, and the
+	// error (if any) decides the exit code after.
+	fresh := make(map[string]experiments.SweepRun, len(runs))
+	for _, r := range runs {
+		fresh[r.Name] = r
+	}
+	var ok []experiments.SweepRun
+	for _, sc := range scens {
+		if h, is := done[sc.Name]; is {
+			ok = append(ok, experiments.SweepRun{Name: sc.Name, Headlines: h})
+			continue
+		}
+		if r, is := fresh[sc.Name]; is && r.Err == nil {
+			ok = append(ok, r)
+		}
+	}
+	if len(ok) > 0 {
+		table := experiments.SweepTable(ok)
+		table.Title = fmt.Sprintf("scenario sweep (%d users, seed %d)", users, seed)
+		if len(ok) < len(scens) {
+			table.Title += fmt.Sprintf(" — partial: %d/%d runs", len(ok), len(scens))
+		}
+		report.WriteMarkdownTable(os.Stdout, &table)
+	}
+	if baseline != "" && sweepErr == nil {
 		delta, err := experiments.DeltaTable(runs, baseline)
 		if err != nil {
 			return err
 		}
 		report.WriteMarkdownTable(os.Stdout, &delta)
+	}
+	if sweepErr != nil {
+		fmt.Fprintf(os.Stderr, "sweep stopped after %v: %d/%d runs completed\n",
+			time.Since(start).Round(time.Millisecond), len(ok), len(scens))
+		return sweepErr
 	}
 	fmt.Fprintf(os.Stderr, "sweep done in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/cmd/internal/cli"
 	"repro/internal/census"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -47,7 +48,7 @@ func main() {
 			for i := range r.Dataset.Model.Counties {
 				fmt.Fprintln(os.Stderr, "  ", r.Dataset.Model.Counties[i].Name)
 			}
-			os.Exit(2)
+			cli.Exit("mobilityrpt", cli.Usagef("unknown region %q", *region))
 		}
 		gyr = r.Mobility.CountySeries(c, core.MetricGyration)
 		ent = r.Mobility.CountySeries(c, core.MetricEntropy)
@@ -65,7 +66,7 @@ func main() {
 			for _, cl := range census.Clusters() {
 				fmt.Fprintln(os.Stderr, "  ", cl.Name())
 			}
-			os.Exit(2)
+			cli.Exit("mobilityrpt", cli.Usagef("unknown cluster %q", *cluster))
 		}
 		gyr = r.Mobility.ClusterSeries(*found, core.MetricGyration)
 		ent = r.Mobility.ClusterSeries(*found, core.MetricEntropy)

@@ -54,6 +54,14 @@
 // track the streaming engine's speedup over the serial pipeline
 // (BenchmarkStreamWorkers1/4/8 vs BenchmarkRunStandardSerial).
 //
+// Failure semantics are documented in RELIABILITY.md: every runner is
+// context-cancellable (SIGINT/SIGTERM exits 130 with partial outputs
+// flushed), panics in pipeline goroutines surface as typed
+// stream.WorkerPanic errors, sweep runs fail independently, feed
+// replays run strict or lenient (-lenient), interrupted sweeps resume
+// from a run journal (mnosweep -journal/-resume), and internal/fault
+// provides deterministic fault injection behind the -fault flags.
+//
 // The per-day hot path is zero-allocation in steady state: arena-backed
 // day buffers (mobsim.DayBuffer), engine-owned KPI scratch
 // (traffic.Engine.DayAppend), reusable per-user merge scratch

@@ -19,8 +19,8 @@ import (
 // serial only in floating-point association.
 func TestStreamingEngineShardsWithinTolerance(t *testing.T) {
 	cfg := streamingTestConfig()
-	serial := RunStreamingConfig(cfg, stream.Config{Workers: 1})
-	sharded := RunStreamingConfig(cfg, stream.Config{Workers: 1, EngineShards: 2})
+	serial := mustStreamingConfig(t, cfg, stream.Config{Workers: 1})
+	sharded := mustStreamingConfig(t, cfg, stream.Config{Workers: 1, EngineShards: 2})
 
 	for _, m := range []core.MobilityMetric{core.MetricEntropy, core.MetricGyration} {
 		a := serial.Mobility.NationalSeries(m)
@@ -64,9 +64,9 @@ func TestParallelSweepShardedEngineDeterministic(t *testing.T) {
 	scens := sweepScenarios(t, scenario.DefaultCovid, scenario.NoPandemic, scenario.VoiceSurge)
 	w := NewWorld(cfg)
 	scfg := stream.Config{Workers: 1, EngineShards: 2}
-	serial := RunSweep(w, cfg, scfg, scens)
+	serial := mustSweep(t, w, cfg, scfg, scens)
 	for _, parallel := range []int{2, 3} {
-		got := RunSweepParallel(w, cfg, scfg, scens, parallel)
+		got := mustSweepParallel(t, w, cfg, scfg, scens, parallel)
 		assertSweepRunsEqual(t, serial, got)
 	}
 }

@@ -20,7 +20,7 @@ func TestStreamingInstrumentedBitIdentical(t *testing.T) {
 	serial := RunStandard(cfg)
 
 	reg := obs.New()
-	got := RunStreamingConfig(cfg, stream.Config{Workers: 3, Metrics: reg})
+	got := mustStreamingConfig(t, cfg, stream.Config{Workers: 3, Metrics: reg})
 	assertResultsEqual(t, serial, got)
 
 	s := reg.Snapshot()
@@ -72,7 +72,7 @@ func TestSweepParallelInstrumented(t *testing.T) {
 
 	reg := obs.New()
 	before := WorldBuildCount()
-	runs := RunSweepParallel(w, cfg, stream.Config{Workers: 1, Metrics: reg}, scens, 2)
+	runs := mustSweepParallel(t, w, cfg, stream.Config{Workers: 1, Metrics: reg}, scens, 2)
 	if len(runs) != len(scens) {
 		t.Fatalf("got %d runs, want %d", len(runs), len(scens))
 	}

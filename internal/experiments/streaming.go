@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/popsim"
 	"repro/internal/stream"
@@ -14,36 +16,45 @@ import (
 // shard results are merged deterministically. The returned Results are
 // bit-identical to RunStandard at the same seed for every worker and
 // shard count, including workers == 1.
-func RunStreaming(cfg Config, workers int) *Results {
-	return RunStreamingConfig(cfg, stream.Config{Workers: workers})
+//
+// ctx cancels the run: production drains, pooled buffers are recycled
+// and ctx.Err() is returned (RELIABILITY.md). A clean run of the
+// default engine never errors; with fault injection armed
+// (stream.Config.Fault) or a cancelled ctx, the error carries the
+// failing stage (stream.WorkerPanic for panics, fault.Error for
+// injected failures).
+func RunStreaming(ctx context.Context, cfg Config, workers int) (*Results, error) {
+	return RunStreamingConfig(ctx, cfg, stream.Config{Workers: workers})
 }
 
 // RunStreamingConfig is RunStreaming with full control over the engine
 // sizing (shard count, backpressure window).
-func RunStreamingConfig(cfg Config, scfg stream.Config) *Results {
-	return RunStreamingOn(NewDataset(cfg), scfg)
+func RunStreamingConfig(ctx context.Context, cfg Config, scfg stream.Config) (*Results, error) {
+	return RunStreamingOn(ctx, NewDataset(cfg), scfg)
 }
 
 // RunStreamingOn is RunStreamingConfig over an already-instantiated
 // stack.
-func RunStreamingOn(d *Dataset, scfg stream.Config) *Results {
+func RunStreamingOn(ctx context.Context, d *Dataset, scfg stream.Config) (*Results, error) {
 	scfg = scfg.WithDefaults()
 
 	// Pass 1: February only, for home detection, sharded by user.
 	homes := stream.NewHomes(d.Topology, scfg.Shards)
 	eng := stream.NewEngine(scfg)
 	eng.AddTraceSharder(homes)
-	febSrc := stream.NewSimSource(d.Sim, nil, 0, timegrid.FebruaryDays, scfg)
-	_ = eng.Run(febSrc) // SimSource never errors
-	return runStreamingStudy(d, scfg, homes.Detect())
+	febSrc := stream.NewSimSource(ctx, d.Sim, nil, 0, timegrid.FebruaryDays, scfg)
+	if err := eng.Run(ctx, febSrc); err != nil {
+		return nil, err
+	}
+	return runStreamingStudy(ctx, d, scfg, homes.Detect())
 }
 
 // runStreamingStudy is the study-window pass over prebuilt February
 // homes. The sweep runner calls it directly with the World's shared
 // homes — February traces are scenario-invariant, so re-detecting per
 // scenario would only repeat identical work.
-func runStreamingStudy(d *Dataset, scfg stream.Config, detected map[popsim.UserID]core.Home) *Results {
-	return runStreamingStudyWith(d, scfg, detected, nil)
+func runStreamingStudy(ctx context.Context, d *Dataset, scfg stream.Config, detected map[popsim.UserID]core.Home) (*Results, error) {
+	return runStreamingStudyWith(ctx, d, scfg, detected, nil)
 }
 
 // runStreamingStudyWith is runStreamingStudy drawing reusable state from
@@ -54,7 +65,11 @@ func runStreamingStudy(d *Dataset, scfg stream.Config, detected map[popsim.UserI
 // the PR 2 zero-alloc steady state. All reused state is scratch —
 // nothing in it influences the computed aggregates — so results are
 // bit-identical to the unpooled path.
-func runStreamingStudyWith(d *Dataset, scfg stream.Config, detected map[popsim.UserID]core.Home, ws *sweepWorker) *Results {
+//
+// A failed run leaves the worker's reused state partially consumed;
+// callers must discard the sweepWorker after any error (the sweep
+// runners do).
+func runStreamingStudyWith(ctx context.Context, d *Dataset, scfg stream.Config, detected map[popsim.UserID]core.Home, ws *sweepWorker) (*Results, error) {
 	scfg = scfg.WithDefaults()
 	cfg := d.Config
 	r := &Results{Dataset: d, Homes: detected}
@@ -81,8 +96,10 @@ func runStreamingStudyWith(d *Dataset, scfg stream.Config, detected map[popsim.U
 		r.KPI = core.NewKPIAnalyzer(d.Topology)
 		study.AddKPIConsumer(r.KPI)
 	}
-	studySrc := stream.NewSimSourcePooled(d.Sim, kpiEngine,
+	studySrc := stream.NewSimSourcePooled(ctx, d.Sim, kpiEngine,
 		timegrid.SimDay(timegrid.StudyDayOffset), timegrid.SimDays, scfg, ws.bufferPool())
-	_ = study.Run(studySrc)
-	return r
+	if err := study.Run(ctx, studySrc); err != nil {
+		return nil, err
+	}
+	return r, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestStreamingMatchesSerial(t *testing.T) {
 		{"workers=4/shards=3", 4, 3},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			got := RunStreamingConfig(cfg, stream.Config{Workers: tc.workers, Shards: tc.shards})
+			got := mustStreamingConfig(t, cfg, stream.Config{Workers: tc.workers, Shards: tc.shards})
 			assertResultsEqual(t, serial, got)
 		})
 	}
@@ -50,7 +51,10 @@ func TestStreamingMatchesSerialMobilityOnly(t *testing.T) {
 	cfg := streamingTestConfig()
 	cfg.SkipKPI = true
 	serial := RunStandard(cfg)
-	got := RunStreaming(cfg, 3)
+	got, err := RunStreaming(context.Background(), cfg, 3)
+	if err != nil {
+		t.Fatalf("RunStreaming: %v", err)
+	}
 	assertResultsEqual(t, serial, got)
 }
 
@@ -119,7 +123,7 @@ func TestStreamingSimSourceOrdered(t *testing.T) {
 	cfg := streamingTestConfig()
 	cfg.SkipKPI = true
 	d := NewDataset(cfg)
-	src := stream.NewSimSource(d.Sim, nil, 0, timegrid.SimDay(12), stream.Config{Workers: 5, Buffer: 1})
+	src := stream.NewSimSource(context.Background(), d.Sim, nil, 0, timegrid.SimDay(12), stream.Config{Workers: 5, Buffer: 1})
 	for day := timegrid.SimDay(0); day < 12; day++ {
 		b, err := src.Next()
 		if err != nil {

@@ -1,10 +1,21 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/pandemic"
+	"repro/internal/popsim"
 	"repro/internal/stats"
 	"repro/internal/stream"
 )
+
+// homesMap is the World's shared February home-detection result,
+// threaded into every scenario run.
+type homesMap = map[popsim.UserID]core.Home
 
 // SweepScenario is one named entry of a scenario sweep. A nil Scenario
 // means the calibrated default timeline.
@@ -13,11 +24,60 @@ type SweepScenario struct {
 	Scenario *pandemic.Scenario
 }
 
-// SweepRun is the outcome of one scenario of a sweep.
+// SweepRun is the outcome of one scenario of a sweep. A failed run —
+// its stack panicked, a fault was injected, or the sweep was cancelled
+// before it ran — has Err set and nil Results/Headlines; the other
+// runs of the sweep complete normally (per-run isolation,
+// RELIABILITY.md). Filter failed runs out before tabulating
+// (SweepTable assumes complete headline sets).
 type SweepRun struct {
 	Name      string
 	Results   *Results
 	Headlines []Headline
+	Err       error
+}
+
+// runScenario executes one sweep entry, converting every failure mode
+// — a cancelled ctx, an injected fault.SweepRun error, a panic
+// anywhere in the scenario stack — into run.Err, so one poisoned
+// scenario cannot take down its sweep.
+func runScenario(ctx context.Context, w *World, cfg Config, scfg stream.Config, sc SweepScenario, idx int, homes homesMap, ws *sweepWorker) (run SweepRun) {
+	run.Name = sc.Name
+	defer func() {
+		if v := recover(); v != nil {
+			run.Results, run.Headlines = nil, nil
+			run.Err = stream.NewWorkerPanic("sweep", -1, -1, v)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		run.Err = err
+		return
+	}
+	if err := scfg.Fault.Fire(fault.SweepRun, int64(idx)); err != nil {
+		run.Err = err
+		return
+	}
+	c := cfg
+	c.Scenario = sc.Scenario
+	r, err := runStreamingStudyWith(ctx, ws.instantiate(w, c), scfg, homes, ws)
+	if err != nil {
+		run.Err = err
+		return
+	}
+	run.Results, run.Headlines = r, Headlines(r)
+	return
+}
+
+// sweepErr joins the failures of a sweep into one error (nil when every
+// run completed), naming each failed run.
+func sweepErr(runs []SweepRun) error {
+	var errs []error
+	for i := range runs {
+		if runs[i].Err != nil {
+			errs = append(errs, fmt.Errorf("sweep run %q: %w", runs[i].Name, runs[i].Err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // RunSweep executes every scenario over the shared world, each through
@@ -32,21 +92,27 @@ type SweepRun struct {
 // Runs share the world's seed, so scenarios are compared on *paired*
 // draws: every agent keeps its home, anchors, device and relocation
 // candidacy across runs, and only the behavioural response differs.
-func RunSweep(w *World, cfg Config, scfg stream.Config, scens []SweepScenario) []SweepRun {
+//
+// Failures are isolated per run: a scenario that panics or hits an
+// injected fault gets its Err set while the others complete. The
+// returned slice always has one entry per scenario, in input order; the
+// error is nil iff every run succeeded, else the joined per-run
+// failures. Cancelling ctx marks the not-yet-run scenarios with
+// ctx.Err().
+func RunSweep(ctx context.Context, w *World, cfg Config, scfg stream.Config, scens []SweepScenario) ([]SweepRun, error) {
 	homes := w.Homes()
-	out := make([]SweepRun, 0, len(scens))
-	for _, sc := range scens {
-		c := cfg
-		c.Scenario = sc.Scenario
-		r := runStreamingStudy(w.Instantiate(c), scfg, homes)
-		out = append(out, SweepRun{Name: sc.Name, Results: r, Headlines: Headlines(r)})
+	out := make([]SweepRun, len(scens))
+	for i, sc := range scens {
+		out[i] = runScenario(ctx, w, cfg, scfg, sc, i, homes, nil)
 	}
-	return out
+	return out, sweepErr(out)
 }
 
 // SweepTable tabulates a sweep as headline rows × scenario columns,
 // keeping only the headlines present in every run (KPI headlines drop
-// out of mobility-only sweeps, exactly as in CompareScenarios).
+// out of mobility-only sweeps, exactly as in CompareScenarios). Failed
+// runs (Err set, no headlines) must be filtered out by the caller
+// first.
 func SweepTable(runs []SweepRun) stats.Table {
 	t := stats.Table{Title: "scenario sweep"}
 	if len(runs) == 0 {

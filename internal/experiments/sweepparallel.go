@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,7 +43,10 @@ func newSweepMetrics(r *obs.Registry, parallel int) *sweepMetrics {
 //
 // A nil *sweepWorker is valid and means "no reuse": every accessor then
 // falls back to fresh construction, which is how the single-run
-// streaming path uses runStreamingStudyWith.
+// streaming path uses runStreamingStudyWith. A worker whose run failed
+// must be discarded — its reused state may be partially consumed by the
+// aborted run — and the sweep runners do, rebuilding a fresh worker for
+// the next scenario.
 type sweepWorker struct {
 	pool *stream.BufferPool
 	mob  *stream.Mobility
@@ -105,6 +109,20 @@ func (ws *sweepWorker) instantiate(w *World, cfg Config) *Dataset {
 	return d
 }
 
+// SweepOptions tunes RunSweepParallelOpts beyond the worker count.
+type SweepOptions struct {
+	// Parallel is the worker count; <= 1 runs the serial path (with the
+	// same per-run isolation and OnRun hook).
+	Parallel int
+	// OnRun, when non-nil, observes every finished run — including
+	// failed ones — as soon as its slot completes, before the sweep
+	// returns. Calls are serialized by the runner (no caller locking)
+	// but arrive in completion order, not input order; i is the run's
+	// index in scens. cmd/mnosweep journals completed runs through this
+	// hook so an interrupted sweep can resume.
+	OnRun func(i int, run SweepRun)
+}
+
 // RunSweepParallel is RunSweep executing the scenario stacks
 // concurrently: up to parallel workers claim scenarios from the input
 // order, each running the full streaming study over the one shared
@@ -123,6 +141,13 @@ func (ws *sweepWorker) instantiate(w *World, cfg Config) *Dataset {
 // per-worker memory (one in-flight window of day buffers each) buys
 // concurrent recomputation over the world we refuse to rebuild.
 //
+// Failure semantics mirror RunSweep: a run that panics or errors fails
+// alone (its worker discards its reused state and rebuilds), the other
+// N-1 complete, and the joined per-run failures come back as the error.
+// Cancelling ctx stops workers claiming new scenarios; every unstarted
+// slot gets Err = ctx.Err() and in-flight runs drain their pipelines
+// before returning.
+//
 // One observable difference from the serial runner: the returned
 // Results carry no live traffic engine (Results.Dataset.Engine is nil)
 // — engines are per-worker scratch rebound from scenario to scenario,
@@ -136,12 +161,45 @@ func (ws *sweepWorker) instantiate(w *World, cfg Config) *Dataset {
 // scenario runs drives its own streaming engine with scfg.Workers
 // workers, so sweeps that set parallel > 1 usually want scfg.Workers =
 // 1 (see PERFORMANCE.md, "Parallel sweeps").
-func RunSweepParallel(w *World, cfg Config, scfg stream.Config, scens []SweepScenario, parallel int) []SweepRun {
+func RunSweepParallel(ctx context.Context, w *World, cfg Config, scfg stream.Config, scens []SweepScenario, parallel int) ([]SweepRun, error) {
+	return RunSweepParallelOpts(ctx, w, cfg, scfg, scens, SweepOptions{Parallel: parallel})
+}
+
+// RunSweepParallelOpts is RunSweepParallel with the full option set
+// (per-run completion hook for journaling).
+func RunSweepParallelOpts(ctx context.Context, w *World, cfg Config, scfg stream.Config, scens []SweepScenario, opt SweepOptions) ([]SweepRun, error) {
+	parallel := opt.Parallel
 	if parallel > len(scens) {
 		parallel = len(scens)
 	}
+
+	var onRunMu sync.Mutex
+	notify := func(i int, run SweepRun) {
+		if opt.OnRun == nil {
+			return
+		}
+		onRunMu.Lock()
+		defer onRunMu.Unlock()
+		opt.OnRun(i, run)
+	}
+
 	if parallel <= 1 || len(scens) <= 1 {
-		return RunSweep(w, cfg, scfg, scens)
+		homes := w.Homes()
+		out := make([]SweepRun, len(scens))
+		var ws *sweepWorker
+		for i, sc := range scens {
+			if ws == nil {
+				ws = newSweepWorker(scfg)
+			}
+			out[i] = runScenario(ctx, w, cfg, scfg, sc, i, homes, ws)
+			if out[i].Err != nil {
+				ws = nil // reused state may be poisoned; rebuild
+			} else if out[i].Results != nil {
+				out[i].Results.Dataset.Engine = nil
+			}
+			notify(i, out[i])
+		}
+		return out, sweepErr(out)
 	}
 
 	// The February pass is world-cached and scenario-invariant; force it
@@ -180,22 +238,28 @@ func RunSweepParallel(w *World, cfg Config, scfg stream.Config, scens []SweepSce
 					t0 = time.Now()
 					m.queueNs.Observe(int64(t0.Sub(fanOut)))
 				}
-				c := cfg
-				c.Scenario = scens[i].Scenario
-				r := runStreamingStudyWith(ws.instantiate(w, c), scfg, homes, ws)
+				r := runScenario(ctx, w, cfg, scfg, scens[i], i, homes, ws)
 				if m != nil {
 					runSh.Observe(int64(time.Since(t0)))
 					m.runs.Inc()
 				}
-				// Detach the worker's shared engine from the stored
-				// stack: it is about to be rebound to the worker's next
-				// scenario, so leaving it on the Dataset would hand
-				// every run an engine bound to whichever scenario its
-				// worker finished last (and share one scratch across
-				// runs). Callers replaying KPI from a sweep result
-				// should Instantiate a fresh stack for that run.
-				r.Dataset.Engine = nil
-				out[i] = SweepRun{Name: scens[i].Name, Results: r, Headlines: Headlines(r)}
+				if r.Err != nil {
+					// The aborted run may have left the worker's reused
+					// buffers, mergers or engine partially consumed;
+					// never thread them into the next scenario.
+					ws = newSweepWorker(scfg)
+				} else {
+					// Detach the worker's shared engine from the stored
+					// stack: it is about to be rebound to the worker's next
+					// scenario, so leaving it on the Dataset would hand
+					// every run an engine bound to whichever scenario its
+					// worker finished last (and share one scratch across
+					// runs). Callers replaying KPI from a sweep result
+					// should Instantiate a fresh stack for that run.
+					r.Results.Dataset.Engine = nil
+				}
+				out[i] = r
+				notify(i, r)
 			}
 		}(p)
 	}
@@ -203,5 +267,5 @@ func RunSweepParallel(w *World, cfg Config, scfg stream.Config, scens []SweepSce
 	if m != nil {
 		m.builds.Set(WorldBuildCount())
 	}
-	return out
+	return out, sweepErr(out)
 }

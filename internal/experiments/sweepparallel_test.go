@@ -50,11 +50,11 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 		scenario.SecondWave, scenario.VoiceSurge)
 	w := NewWorld(cfg)
 	scfg := stream.Config{Workers: 1}
-	serial := RunSweep(w, cfg, scfg, scens)
+	serial := mustSweep(t, w, cfg, scfg, scens)
 
 	before := WorldBuildCount()
 	for _, parallel := range []int{1, 2, 4, 8} {
-		got := RunSweepParallel(w, cfg, scfg, scens, parallel)
+		got := mustSweepParallel(t, w, cfg, scfg, scens, parallel)
 		assertSweepRunsEqual(t, serial, got)
 	}
 	if extra := WorldBuildCount() - before; extra != 0 {
@@ -72,13 +72,13 @@ func TestParallelSweepMatchesSerialKPI(t *testing.T) {
 	scens := sweepScenarios(t, scenario.DefaultCovid, scenario.NoPandemic, scenario.VoiceSurge)
 	w := NewWorld(cfg)
 	scfg := stream.Config{Workers: 1}
-	serial := RunSweep(w, cfg, scfg, scens)
+	serial := mustSweep(t, w, cfg, scfg, scens)
 	for i := range serial {
 		if serial[i].Results.KPI == nil {
 			t.Fatalf("run %s has no KPI analyzer", serial[i].Name)
 		}
 	}
-	got := RunSweepParallel(w, cfg, scfg, scens, 2)
+	got := mustSweepParallel(t, w, cfg, scfg, scens, 2)
 	assertSweepRunsEqual(t, serial, got)
 	// Documented contract: parallel runs carry no live engine — it is
 	// per-worker scratch that would otherwise alias every run of a
@@ -96,7 +96,7 @@ func TestParallelSweepDegradesToSerial(t *testing.T) {
 	cfg := sweepConfig()
 	scens := sweepScenarios(t, scenario.DefaultCovid)
 	w := NewWorld(cfg)
-	runs := RunSweepParallel(w, cfg, stream.Config{Workers: 1}, scens, 8)
+	runs := mustSweepParallel(t, w, cfg, stream.Config{Workers: 1}, scens, 8)
 	if len(runs) != 1 || runs[0].Name != scenario.DefaultCovid {
 		t.Fatalf("unexpected runs: %+v", runs)
 	}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// The streaming and sweep runners return errors only under cancellation
+// or fault injection; the functional tests run clean pipelines, so they
+// funnel through these must-helpers and keep their assertions on the
+// results.
+
+func mustStreamingConfig(t testing.TB, cfg Config, scfg stream.Config) *Results {
+	t.Helper()
+	r, err := RunStreamingConfig(context.Background(), cfg, scfg)
+	if err != nil {
+		t.Fatalf("RunStreamingConfig: %v", err)
+	}
+	return r
+}
+
+func mustSweep(t testing.TB, w *World, cfg Config, scfg stream.Config, scens []SweepScenario) []SweepRun {
+	t.Helper()
+	runs, err := RunSweep(context.Background(), w, cfg, scfg, scens)
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	return runs
+}
+
+func mustSweepParallel(t testing.TB, w *World, cfg Config, scfg stream.Config, scens []SweepScenario, parallel int) []SweepRun {
+	t.Helper()
+	runs, err := RunSweepParallel(context.Background(), w, cfg, scfg, scens, parallel)
+	if err != nil {
+		t.Fatalf("RunSweepParallel: %v", err)
+	}
+	return runs
+}

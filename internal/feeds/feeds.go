@@ -7,6 +7,13 @@
 //
 // Formats are line-oriented CSV with a fixed header; all writers/readers
 // are streaming and never hold a full feed in memory.
+//
+// Readers run in one of two modes (Options.Lenient; RELIABILITY.md has
+// the full contract): strict — the default — fails the replay on the
+// first corrupt row with file:line:field context, while lenient skips
+// corrupt rows, counts them (Skipped) and reports each through the
+// OnSkip hook, so weeks of noisy operator feeds degrade instead of
+// aborting.
 package feeds
 
 import (
@@ -28,6 +35,38 @@ import (
 // ErrBadHeader reports a feed file whose header does not match the
 // expected schema.
 var ErrBadHeader = errors.New("feeds: unexpected header")
+
+// Options configures a feed reader's failure behaviour.
+type Options struct {
+	// Name is the feed's file name (or any label), prefixed to row
+	// errors and passed to OnSkip. Empty: a generic feed label.
+	Name string
+	// Lenient makes the reader skip corrupt rows — malformed CSV
+	// structure (wrong field count, bad quoting, a truncated final row)
+	// and rows whose fields fail to parse — instead of failing the
+	// replay. Skipped rows are counted (Skipped) and reported through
+	// OnSkip. Header errors and I/O errors are fatal in both modes.
+	Lenient bool
+	// OnSkip, when non-nil, observes every skipped row in lenient mode:
+	// the feed name, the 1-based line number and the row's error.
+	OnSkip func(name string, line int, err error)
+}
+
+// label returns the feed name for error context.
+func (o *Options) label(fallback string) string {
+	if o.Name != "" {
+		return o.Name
+	}
+	return fallback
+}
+
+// rowError is a corrupt row that lenient mode may skip: a CSV
+// structure error or a field parse error. I/O errors are never wrapped
+// in it.
+func isRowError(err error) bool {
+	var pe *csv.ParseError
+	return errors.As(err, &pe)
+}
 
 // --- day traces ------------------------------------------------------------
 
@@ -83,22 +122,47 @@ func (t *TraceWriter) Flush() error {
 // TraceReader streams day traces back from CSV. Visits of one user-day
 // must be contiguous (as TraceWriter emits them).
 type TraceReader struct {
-	r      *csv.Reader
-	peeked []string
+	r       *csv.Reader
+	peeked  []string
+	opt     Options
+	skipped int64
 }
 
-// NewTraceReader validates the header and returns a reader.
+// NewTraceReader validates the header and returns a strict reader.
 func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	return NewTraceReaderOpts(r, Options{})
+}
+
+// NewTraceReaderOpts is NewTraceReader with explicit failure options.
+func NewTraceReaderOpts(r io.Reader, opt Options) (*TraceReader, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(traceHeader)
 	hdr, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("feeds: reading trace header: %w", err)
+		return nil, fmt.Errorf("feeds: reading trace header of %s: %w", opt.label("trace feed"), err)
 	}
 	if !equalRow(hdr, traceHeader) {
 		return nil, ErrBadHeader
 	}
-	return &TraceReader{r: cr}, nil
+	return &TraceReader{r: cr, opt: opt}, nil
+}
+
+// Skipped returns the number of corrupt rows skipped so far (always 0
+// for a strict reader: it fails on the first one instead).
+func (t *TraceReader) Skipped() int64 { return t.skipped }
+
+// line is the 1-based input line of the last record read.
+func (t *TraceReader) line() int {
+	line, _ := t.r.FieldPos(0)
+	return line
+}
+
+// skip records a lenient-mode skip of the current row.
+func (t *TraceReader) skip(line int, err error) {
+	t.skipped++
+	if t.opt.OnSkip != nil {
+		t.opt.OnSkip(t.opt.label("trace feed"), line, err)
+	}
 }
 
 // ReadDay reads the next full day of traces. It returns io.EOF when the
@@ -116,7 +180,9 @@ func (t *TraceReader) ReadDay() (timegrid.SimDay, []mobsim.DayTrace, error) {
 // ReadDayInto reads the next full day of traces into buf, reusing its
 // arena: a warm buffer decodes a day without allocating. The traces are
 // materialized with buf.Traces() and stay valid until buf's next Reset.
-// It returns io.EOF when the feed is exhausted.
+// It returns io.EOF when the feed is exhausted. Corrupt rows fail the
+// read with file:line context in strict mode and are skipped (counted,
+// reported via OnSkip) in lenient mode.
 func (t *TraceReader) ReadDayInto(buf *mobsim.DayBuffer) (timegrid.SimDay, error) {
 	day := timegrid.SimDay(-1)
 	var current popsim.UserID
@@ -129,11 +195,19 @@ func (t *TraceReader) ReadDayInto(buf *mobsim.DayBuffer) (timegrid.SimDay, error
 			return day, nil
 		}
 		if err != nil {
-			return 0, err
+			if t.opt.Lenient && isRowError(err) {
+				t.skip(csvErrLine(err, t.line()), err)
+				continue
+			}
+			return 0, fmt.Errorf("feeds: %s:%d: %w", t.opt.label("trace feed"), csvErrLine(err, t.line()), err)
 		}
-		d, v, user, err := parseTraceRow(rec)
-		if err != nil {
-			return 0, err
+		d, v, user, perr := parseTraceRow(rec)
+		if perr != nil {
+			if t.opt.Lenient {
+				t.skip(t.line(), perr)
+				continue
+			}
+			return 0, fmt.Errorf("feeds: %s:%d: %w", t.opt.label("trace feed"), t.line(), perr)
 		}
 		if day < 0 {
 			day = d
@@ -161,21 +235,45 @@ func (t *TraceReader) next() ([]string, error) {
 	return t.r.Read()
 }
 
-// parseTraceRow decodes one CSV row of the trace feed.
+// csvErrLine extracts the line number carried by a csv.ParseError, or
+// falls back to the reader's current position.
+func csvErrLine(err error, fallback int) int {
+	var pe *csv.ParseError
+	if errors.As(err, &pe) && pe.Line > 0 {
+		return pe.Line
+	}
+	return fallback
+}
+
+// parseTraceRow decodes one CSV row of the trace feed; its errors name
+// the offending column and value.
 func parseTraceRow(rec []string) (timegrid.SimDay, mobsim.Visit, popsim.UserID, error) {
-	day, err1 := strconv.Atoi(rec[0])
-	user, err2 := strconv.ParseUint(rec[1], 10, 32)
-	tower, err3 := strconv.Atoi(rec[2])
-	bin, err4 := strconv.Atoi(rec[3])
-	sec, err5 := strconv.Atoi(rec[4])
-	atRes, err6 := parseBool(rec[5])
-	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
-		if err != nil {
-			return 0, mobsim.Visit{}, 0, fmt.Errorf("feeds: bad trace row %v: %w", rec, err)
-		}
+	day, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return 0, mobsim.Visit{}, 0, badField("trace", "day", rec[0], err)
+	}
+	user, err := strconv.ParseUint(rec[1], 10, 32)
+	if err != nil {
+		return 0, mobsim.Visit{}, 0, badField("trace", "user", rec[1], err)
+	}
+	tower, err := strconv.Atoi(rec[2])
+	if err != nil {
+		return 0, mobsim.Visit{}, 0, badField("trace", "tower", rec[2], err)
+	}
+	bin, err := strconv.Atoi(rec[3])
+	if err != nil {
+		return 0, mobsim.Visit{}, 0, badField("trace", "bin", rec[3], err)
+	}
+	sec, err := strconv.Atoi(rec[4])
+	if err != nil {
+		return 0, mobsim.Visit{}, 0, badField("trace", "seconds", rec[4], err)
+	}
+	atRes, err := parseBool(rec[5])
+	if err != nil {
+		return 0, mobsim.Visit{}, 0, badField("trace", "at_residence", rec[5], err)
 	}
 	if bin < 0 || bin >= timegrid.BinsPerDay {
-		return 0, mobsim.Visit{}, 0, fmt.Errorf("feeds: trace bin %d out of range", bin)
+		return 0, mobsim.Visit{}, 0, fmt.Errorf("bad trace field bin=%q: out of range [0,%d)", rec[3], timegrid.BinsPerDay)
 	}
 	v := mobsim.Visit{
 		Tower:       radio.TowerID(tower),
@@ -184,6 +282,12 @@ func parseTraceRow(rec []string) (timegrid.SimDay, mobsim.Visit, popsim.UserID, 
 		AtResidence: atRes,
 	}
 	return timegrid.SimDay(day), v, popsim.UserID(user), nil
+}
+
+// badField is the shared shape of a field parse error: it names the
+// feed kind, the column and the offending value.
+func badField(feed, col, val string, err error) error {
+	return fmt.Errorf("bad %s field %s=%q: %w", feed, col, val, err)
 }
 
 // --- per-cell daily KPI records ---------------------------------------------
@@ -241,22 +345,44 @@ func (k *KPIWriter) Flush() error {
 
 // KPIReader streams CellDay records back from CSV.
 type KPIReader struct {
-	r      *csv.Reader
-	peeked []string
+	r       *csv.Reader
+	peeked  []string
+	opt     Options
+	skipped int64
 }
 
-// NewKPIReader validates the header and returns a reader.
+// NewKPIReader validates the header and returns a strict reader.
 func NewKPIReader(r io.Reader) (*KPIReader, error) {
+	return NewKPIReaderOpts(r, Options{})
+}
+
+// NewKPIReaderOpts is NewKPIReader with explicit failure options.
+func NewKPIReaderOpts(r io.Reader, opt Options) (*KPIReader, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(kpiHeader)
 	hdr, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("feeds: reading KPI header: %w", err)
+		return nil, fmt.Errorf("feeds: reading KPI header of %s: %w", opt.label("KPI feed"), err)
 	}
 	if !equalRow(hdr, kpiHeader) {
 		return nil, ErrBadHeader
 	}
-	return &KPIReader{r: cr}, nil
+	return &KPIReader{r: cr, opt: opt}, nil
+}
+
+// Skipped returns the number of corrupt rows skipped so far.
+func (k *KPIReader) Skipped() int64 { return k.skipped }
+
+func (k *KPIReader) line() int {
+	line, _ := k.r.FieldPos(0)
+	return line
+}
+
+func (k *KPIReader) skip(line int, err error) {
+	k.skipped++
+	if k.opt.OnSkip != nil {
+		k.opt.OnSkip(k.opt.label("KPI feed"), line, err)
+	}
 }
 
 // ReadDay reads the next full day of cell records; io.EOF at the end.
@@ -265,7 +391,8 @@ func (k *KPIReader) ReadDay() (timegrid.SimDay, []traffic.CellDay, error) {
 }
 
 // ReadDayAppend is ReadDay appending into dst (pass prev[:0] to reuse
-// capacity across days).
+// capacity across days). Corrupt rows follow the reader's
+// strict/lenient mode, like TraceReader.ReadDayInto.
 func (k *KPIReader) ReadDayAppend(dst []traffic.CellDay) (timegrid.SimDay, []traffic.CellDay, error) {
 	var (
 		day   timegrid.SimDay = -1
@@ -280,11 +407,19 @@ func (k *KPIReader) ReadDayAppend(dst []traffic.CellDay) (timegrid.SimDay, []tra
 			return day, cells, nil
 		}
 		if err != nil {
-			return 0, nil, err
+			if k.opt.Lenient && isRowError(err) {
+				k.skip(csvErrLine(err, k.line()), err)
+				continue
+			}
+			return 0, nil, fmt.Errorf("feeds: %s:%d: %w", k.opt.label("KPI feed"), csvErrLine(err, k.line()), err)
 		}
-		d, cd, err := parseKPIRow(rec)
-		if err != nil {
-			return 0, nil, err
+		d, cd, perr := parseKPIRow(rec)
+		if perr != nil {
+			if k.opt.Lenient {
+				k.skip(k.line(), perr)
+				continue
+			}
+			return 0, nil, fmt.Errorf("feeds: %s:%d: %w", k.opt.label("KPI feed"), k.line(), perr)
 		}
 		if day < 0 {
 			day = d
@@ -306,21 +441,22 @@ func (k *KPIReader) next() ([]string, error) {
 	return k.r.Read()
 }
 
-// parseKPIRow decodes one CSV row of the KPI feed.
+// parseKPIRow decodes one CSV row of the KPI feed; its errors name the
+// offending column and value.
 func parseKPIRow(rec []string) (timegrid.SimDay, traffic.CellDay, error) {
 	day, err := strconv.Atoi(rec[0])
 	if err != nil {
-		return 0, traffic.CellDay{}, fmt.Errorf("feeds: bad KPI day %q: %w", rec[0], err)
+		return 0, traffic.CellDay{}, badField("KPI", "day", rec[0], err)
 	}
 	cell, err := strconv.Atoi(rec[1])
 	if err != nil {
-		return 0, traffic.CellDay{}, fmt.Errorf("feeds: bad KPI cell %q: %w", rec[1], err)
+		return 0, traffic.CellDay{}, badField("KPI", "cell", rec[1], err)
 	}
 	cd := traffic.CellDay{Cell: radio.CellID(cell)}
 	for m := 0; m < traffic.NumMetrics; m++ {
 		v, err := strconv.ParseFloat(rec[2+m], 64)
 		if err != nil {
-			return 0, traffic.CellDay{}, fmt.Errorf("feeds: bad KPI value %q: %w", rec[2+m], err)
+			return 0, traffic.CellDay{}, badField("KPI", kpiHeader[2+m], rec[2+m], err)
 		}
 		cd.Values[m] = v
 	}
@@ -382,43 +518,89 @@ func (e *EventWriter) Flush() error {
 
 // EventReader streams events back from CSV.
 type EventReader struct {
-	r *csv.Reader
+	r       *csv.Reader
+	opt     Options
+	skipped int64
 }
 
-// NewEventReader validates the header and returns a reader.
+// NewEventReader validates the header and returns a strict reader.
 func NewEventReader(r io.Reader) (*EventReader, error) {
+	return NewEventReaderOpts(r, Options{})
+}
+
+// NewEventReaderOpts is NewEventReader with explicit failure options.
+func NewEventReaderOpts(r io.Reader, opt Options) (*EventReader, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(eventHeader)
 	hdr, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("feeds: reading event header: %w", err)
+		return nil, fmt.Errorf("feeds: reading event header of %s: %w", opt.label("event feed"), err)
 	}
 	if !equalRow(hdr, eventHeader) {
 		return nil, ErrBadHeader
 	}
-	return &EventReader{r: cr}, nil
+	return &EventReader{r: cr, opt: opt}, nil
 }
 
-// Read returns the next event; io.EOF at the end of the feed.
-func (e *EventReader) Read() (signaling.Event, error) {
-	rec, err := e.r.Read()
-	if err != nil {
-		return signaling.Event{}, err
+// Skipped returns the number of corrupt rows skipped so far.
+func (e *EventReader) Skipped() int64 { return e.skipped }
+
+func (e *EventReader) line() int {
+	line, _ := e.r.FieldPos(0)
+	return line
+}
+
+func (e *EventReader) skip(line int, err error) {
+	e.skipped++
+	if e.opt.OnSkip != nil {
+		e.opt.OnSkip(e.opt.label("event feed"), line, err)
 	}
+}
+
+// Read returns the next event; io.EOF at the end of the feed. Corrupt
+// rows follow the reader's strict/lenient mode.
+func (e *EventReader) Read() (signaling.Event, error) {
+	for {
+		rec, err := e.r.Read()
+		if err == io.EOF {
+			return signaling.Event{}, io.EOF
+		}
+		if err != nil {
+			if e.opt.Lenient && isRowError(err) {
+				e.skip(csvErrLine(err, e.line()), err)
+				continue
+			}
+			return signaling.Event{}, fmt.Errorf("feeds: %s:%d: %w", e.opt.label("event feed"), csvErrLine(err, e.line()), err)
+		}
+		ev, perr := parseEventRow(rec)
+		if perr != nil {
+			if e.opt.Lenient {
+				e.skip(e.line(), perr)
+				continue
+			}
+			return signaling.Event{}, fmt.Errorf("feeds: %s:%d: %w", e.opt.label("event feed"), e.line(), perr)
+		}
+		return ev, nil
+	}
+}
+
+// parseEventRow decodes one CSV row of the event feed; its errors name
+// the offending column and value.
+func parseEventRow(rec []string) (signaling.Event, error) {
 	ints := make([]int64, 10)
 	for i := 0; i < 10; i++ {
 		v, err := strconv.ParseInt(rec[i], 10, 64)
 		if err != nil {
-			return signaling.Event{}, fmt.Errorf("feeds: bad event field %d %q: %w", i, rec[i], err)
+			return signaling.Event{}, badField("event", eventHeader[i], rec[i], err)
 		}
 		ints[i] = v
 	}
 	ok, err := parseBool(rec[10])
 	if err != nil {
-		return signaling.Event{}, fmt.Errorf("feeds: bad event ok field: %w", err)
+		return signaling.Event{}, badField("event", "ok", rec[10], err)
 	}
 	if t := ints[3]; t < 0 || t >= int64(signaling.NumEventTypes) {
-		return signaling.Event{}, fmt.Errorf("feeds: event type %d out of range", t)
+		return signaling.Event{}, fmt.Errorf("bad event field type=%q: out of range [0,%d)", rec[3], signaling.NumEventTypes)
 	}
 	return signaling.Event{
 		Day:      timegrid.SimDay(ints[0]),

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/mobsim"
 	"repro/internal/signaling"
 	"repro/internal/stream"
@@ -28,15 +29,31 @@ const (
 // allocates fresh stores — liveness never depends on recycling.
 const feedPoolSize = 8
 
-// feedDayRes is one recyclable backing store for a replayed day.
+// feedDayRes is one recyclable backing store for a replayed day. Its
+// release discipline mirrors stream.BufferPool's dayStore: every
+// checkout stamps a fresh generation, and Recycle refuses anything but
+// exactly one release of the current checkout, reporting rejects into
+// the shared stream.DoubleReleases ledger.
 type feedDayRes struct {
+	src    *FeedSource
 	buf    *mobsim.DayBuffer
 	cells  []traffic.CellDay
 	events []signaling.Event
-	// out is true while the store is checked out; the recycle hook
-	// swaps it back, making release idempotent across DayBatch copies.
-	out     atomic.Bool
-	recycle func()
+	out    atomic.Bool
+	gen    atomic.Uint64
+}
+
+// Recycle implements stream.Recycler.
+func (r *feedDayRes) Recycle(gen uint64) {
+	if r.gen.Load() != gen || !r.out.CompareAndSwap(true, false) {
+		r.src.rejected.Add(1)
+		stream.ReportDoubleRelease()
+		return
+	}
+	select {
+	case r.src.free <- r:
+	default:
+	}
 }
 
 // FeedSource replays persisted CSV feeds as day batches for the
@@ -53,7 +70,11 @@ type FeedSource struct {
 	kpi    *KPIReader
 	events *EventReader
 
-	free chan *feedDayRes
+	free     chan *feedDayRes
+	rejected atomic.Int64
+
+	fi       *fault.Injector
+	daysRead int64
 
 	pendingKPIDay timegrid.SimDay
 	pendingCells  []traffic.CellDay
@@ -74,14 +95,34 @@ func NewFeedSource(traces *TraceReader, kpi *KPIReader, events *EventReader) *Fe
 		pendingKPIDay: -1, kpiDone: kpi == nil, eventsDone: events == nil}
 }
 
-// OpenDir opens a feed directory: traces.csv is required, kpi.csv and
-// events.csv are attached when present. Close the source when done.
+// WithFault arms the source with a fault injector (nil: disabled) and
+// returns the receiver. Next fires the fault.FeedRead site keyed by the
+// 0-based index of the day being read.
+func (s *FeedSource) WithFault(fi *fault.Injector) *FeedSource {
+	s.fi = fi
+	return s
+}
+
+// OpenDir opens a feed directory with strict readers; see OpenDirOpts.
 func OpenDir(dir string) (*FeedSource, error) {
+	return OpenDirOpts(dir, Options{})
+}
+
+// OpenDirOpts opens a feed directory: traces.csv is required, kpi.csv
+// and events.csv are attached when present. Each reader gets opt with
+// Name set to the file's path, so row errors and OnSkip calls carry
+// file:line context. Close the source when done.
+func OpenDirOpts(dir string, opt Options) (*FeedSource, error) {
+	named := func(name string) Options {
+		o := opt
+		o.Name = filepath.Join(dir, name)
+		return o
+	}
 	tf, err := os.Open(filepath.Join(dir, TraceFeedName))
 	if err != nil {
 		return nil, fmt.Errorf("feeds: opening trace feed: %w", err)
 	}
-	tr, err := NewTraceReader(tf)
+	tr, err := NewTraceReaderOpts(tf, named(TraceFeedName))
 	if err != nil {
 		tf.Close()
 		return nil, err
@@ -90,7 +131,7 @@ func OpenDir(dir string) (*FeedSource, error) {
 	s.closers = append(s.closers, tf)
 
 	if kf, err := os.Open(filepath.Join(dir, KPIFeedName)); err == nil {
-		kr, err := NewKPIReader(kf)
+		kr, err := NewKPIReaderOpts(kf, named(KPIFeedName))
 		if err != nil {
 			s.Close()
 			kf.Close()
@@ -100,7 +141,7 @@ func OpenDir(dir string) (*FeedSource, error) {
 		s.closers = append(s.closers, kf)
 	}
 	if ef, err := os.Open(filepath.Join(dir, EventFeedName)); err == nil {
-		er, err := NewEventReader(ef)
+		er, err := NewEventReaderOpts(ef, named(EventFeedName))
 		if err != nil {
 			s.Close()
 			ef.Close()
@@ -124,40 +165,54 @@ func (s *FeedSource) Close() error {
 	return first
 }
 
-// getRes draws a backing store from the free list, or allocates one.
+// Skipped returns the corrupt rows skipped across all attached readers
+// (non-zero only in lenient mode).
+func (s *FeedSource) Skipped() int64 {
+	n := s.traces.Skipped()
+	if s.kpi != nil {
+		n += s.kpi.Skipped()
+	}
+	if s.events != nil {
+		n += s.events.Skipped()
+	}
+	return n
+}
+
+// Rejected returns how many batch releases this source refused (double
+// or stale); tests pin it at zero on every clean and faulted path.
+func (s *FeedSource) Rejected() int64 { return s.rejected.Load() }
+
+// getRes draws a backing store from the free list, or allocates one,
+// stamping a fresh checkout generation either way.
 func (s *FeedSource) getRes() *feedDayRes {
+	var r *feedDayRes
 	select {
-	case r := <-s.free:
-		r.out.Store(true)
-		return r
+	case r = <-s.free:
 	default:
+		r = &feedDayRes{src: s, buf: mobsim.NewDayBuffer()}
 	}
-	r := &feedDayRes{buf: mobsim.NewDayBuffer()}
-	r.recycle = func() {
-		if !r.out.CompareAndSwap(true, false) {
-			return // already recycled via another batch copy
-		}
-		select {
-		case s.free <- r:
-		default:
-		}
-	}
+	r.gen.Add(1)
 	r.out.Store(true)
 	return r
 }
 
 // Next returns the next day batch; io.EOF when the trace feed ends.
 func (s *FeedSource) Next() (stream.DayBatch, error) {
+	if err := s.fi.Fire(fault.FeedRead, s.daysRead); err != nil {
+		return stream.DayBatch{}, err
+	}
+	s.daysRead++
 	res := s.getRes()
+	gen := res.gen.Load()
 	day, err := s.traces.ReadDayInto(res.buf)
 	if err != nil {
-		res.recycle()
+		res.Recycle(gen)
 		return stream.DayBatch{}, err // io.EOF passes through
 	}
-	b := stream.DayBatch{Day: day, Traces: res.buf.Traces(), Recycle: res.recycle}
+	b := stream.DayBatch{Day: day, Traces: res.buf.Traces(), Owner: res, Gen: gen}
 	res.cells, err = s.kpiFor(day, res.cells[:0])
 	if err != nil {
-		res.recycle()
+		res.Recycle(gen)
 		return stream.DayBatch{}, err
 	}
 	if len(res.cells) > 0 {
@@ -165,7 +220,7 @@ func (s *FeedSource) Next() (stream.DayBatch, error) {
 	}
 	res.events, err = s.eventsFor(day, res.events[:0])
 	if err != nil {
-		res.recycle()
+		res.Recycle(gen)
 		return stream.DayBatch{}, err
 	}
 	if len(res.events) > 0 {

@@ -1,11 +1,14 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/mobsim"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -52,6 +55,13 @@ type Config struct {
 	// keeps the pipeline bit-identical and entirely uninstrumented. See
 	// PERFORMANCE.md, "Observability", for the metric catalog.
 	Metrics *obs.Registry
+	// Fault, when non-nil, arms deterministic fault injection at the
+	// pipeline's named sites (see internal/fault): day production
+	// (fault.ProduceDay), parallel shard tasks (fault.ShardTask) and the
+	// serial merge stage (fault.MergeDay). nil (the default) keeps every
+	// site at a single nil-check and the pipeline bit-identical — the
+	// chaos suite and RELIABILITY.md document the failure semantics.
+	Fault *fault.Injector
 }
 
 // WithDefaults returns the config with unset fields resolved.
@@ -128,6 +138,9 @@ type Engine struct {
 	// m holds the engine's metric handles; nil when cfg.Metrics is unset
 	// (the default), in which case runDay takes no timestamps at all.
 	m *engineMetrics
+	// fi is the armed fault injector; nil (the default) costs one
+	// nil-check per site.
+	fi *fault.Injector
 }
 
 // engineMetrics are the engine's handles, resolved once in NewEngine so
@@ -181,6 +194,7 @@ func NewEngine(cfg Config) *Engine {
 	e.cellIdx = makeParts(cfg.Shards)
 	e.eventIdx = makeParts(cfg.Shards)
 	e.m = newEngineMetrics(cfg.Metrics, cfg.Shards)
+	e.fi = cfg.Fault
 	return e
 }
 
@@ -223,23 +237,41 @@ func ShardOfCell(c uint64, s int) int { return int(rng.Hash64(c^0xCE11CE11) % ui
 // After a day's merge stage the batch is released back to its source
 // (DayBatch.Release), so consumers must copy anything they keep — see
 // the buffer-ownership rules in README.md.
-func (e *Engine) Run(src Source) error {
+//
+// Failure semantics (see RELIABILITY.md): ctx cancellation surfaces as
+// ctx.Err() within at most one day of work; a panic in any shard task
+// or the merge stage is recovered into a *WorkerPanic and returned as
+// a joined error. On any early exit — cancellation, source error, or a
+// failed day — the source is stopped (Stopper) so its producers exit
+// and in-flight pooled buffers return to their free lists; the day's
+// batch is always released exactly once.
+func (e *Engine) Run(ctx context.Context, src Source) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			stopSource(src)
+			return err
+		}
 		b, err := src.Next()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
+			stopSource(src)
 			return err
 		}
-		e.runDay(&b)
+		dayErr := e.runDay(&b)
 		b.Release()
+		if dayErr != nil {
+			stopSource(src)
+			return dayErr
+		}
 	}
 }
 
 // runDay processes one day batch: partition, parallel shard stage,
-// serial merge stage.
-func (e *Engine) runDay(b *DayBatch) {
+// serial merge stage. A non-nil error means the day failed — shard
+// state may be mid-day inconsistent and the run must stop.
+func (e *Engine) runDay(b *DayBatch) error {
 	s := e.cfg.Shards
 	partition(e.traceIdx, len(b.Traces), func(i int) int {
 		return ShardOfUser(uint64(b.Traces[i].User), s)
@@ -277,21 +309,42 @@ func (e *Engine) runDay(b *DayBatch) {
 		sh.BeginDay(b.Day, b.Events)
 	}
 
+	// Shard-stage failures (recovered panics, injected faults) collect
+	// here; the slice stays nil — no allocation — on the clean path.
+	var failMu sync.Mutex
+	var failed []error
+	fail := func(err error) {
+		failMu.Lock()
+		failed = append(failed, err)
+		failMu.Unlock()
+	}
+
 	ssp := obs.Start(e.m.shardStageH())
 	var wg sync.WaitGroup
-	run := func(task func()) {
+	run := func(shard int, task func()) {
 		wg.Add(1)
 		e.sem <- struct{}{}
 		go func() {
 			defer func() { <-e.sem; wg.Done() }()
-			task()
+			var err error
+			func() {
+				defer capturePanic(&err, "shard", shard, b.Day)
+				if ferr := e.fi.Fire(fault.ShardTask, int64(b.Day)); ferr != nil {
+					err = ferr
+					return
+				}
+				task()
+			}()
+			if err != nil {
+				fail(err)
+			}
 		}()
 	}
 	for _, sh := range e.traceSharders {
 		for i := 0; i < s; i++ {
 			if len(e.traceIdx[i]) > 0 {
 				sh, i := sh, i
-				run(func() { sh.ShardDay(i, b.Day, b.Traces, e.traceIdx[i]) })
+				run(i, func() { sh.ShardDay(i, b.Day, b.Traces, e.traceIdx[i]) })
 			}
 		}
 	}
@@ -299,7 +352,7 @@ func (e *Engine) runDay(b *DayBatch) {
 		for i := 0; i < s; i++ {
 			if len(e.cellIdx[i]) > 0 {
 				sh, i := sh, i
-				run(func() { sh.ShardDay(i, b.Day, b.Cells, e.cellIdx[i]) })
+				run(i, func() { sh.ShardDay(i, b.Day, b.Cells, e.cellIdx[i]) })
 			}
 		}
 	}
@@ -307,33 +360,49 @@ func (e *Engine) runDay(b *DayBatch) {
 		for i := 0; i < s; i++ {
 			if len(e.eventIdx[i]) > 0 {
 				sh, i := sh, i
-				run(func() { sh.ShardDay(i, b.Day, b.Events, e.eventIdx[i]) })
+				run(i, func() { sh.ShardDay(i, b.Day, b.Events, e.eventIdx[i]) })
 			}
 		}
 	}
 	wg.Wait()
 	ssp.End()
+	if failed != nil {
+		// Fail before the merge: a shard that died mid-day leaves its
+		// consumer state inconsistent, so folding it would corrupt the
+		// aggregates rather than report them.
+		return errors.Join(failed...)
+	}
 
-	// Merge stage: strictly serial, fixed order.
+	// Merge stage: strictly serial, fixed order. A panic here (or an
+	// injected merge fault) fails the day the same way.
 	msp := obs.Start(e.m.mergeStageH())
-	for _, sh := range e.traceSharders {
-		sh.EndDay(b.Day)
-	}
-	for _, sh := range e.kpiSharders {
-		sh.EndDay(b.Day)
-	}
-	for _, sh := range e.eventSharders {
-		sh.EndDay(b.Day)
-	}
-	for _, c := range e.traceSerial {
-		c.ConsumeDay(b.Day, b.Traces)
-	}
-	if b.Cells != nil {
-		for _, c := range e.kpiSerial {
-			c.ConsumeDay(b.Day, b.Cells)
+	var mergeErr error
+	func() {
+		defer capturePanic(&mergeErr, "merge", -1, b.Day)
+		if ferr := e.fi.Fire(fault.MergeDay, int64(b.Day)); ferr != nil {
+			mergeErr = ferr
+			return
 		}
-	}
+		for _, sh := range e.traceSharders {
+			sh.EndDay(b.Day)
+		}
+		for _, sh := range e.kpiSharders {
+			sh.EndDay(b.Day)
+		}
+		for _, sh := range e.eventSharders {
+			sh.EndDay(b.Day)
+		}
+		for _, c := range e.traceSerial {
+			c.ConsumeDay(b.Day, b.Traces)
+		}
+		if b.Cells != nil {
+			for _, c := range e.kpiSerial {
+				c.ConsumeDay(b.Day, b.Cells)
+			}
+		}
+	}()
 	msp.End()
+	return mergeErr
 }
 
 // partition fills parts with the indices 0..n-1 grouped by shardOf,

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -70,7 +71,7 @@ func TestEnginePartitionIsStable(t *testing.T) {
 		e := NewEngine(Config{Workers: workers, Shards: shards})
 		rec := newRecordingSharder(shards)
 		e.AddTraceSharder(rec)
-		if err := e.Run(NewSliceSource(syntheticBatches(days, users))); err != nil {
+		if err := e.Run(context.Background(), NewSliceSource(syntheticBatches(days, users))); err != nil {
 			t.Fatal(err)
 		}
 		if rec.began != days || rec.ended != days {
@@ -217,7 +218,7 @@ func TestKPIMediansMatchesExact(t *testing.T) {
 	e := NewEngine(Config{Workers: 3, Shards: shards})
 	k := NewKPIMedians(shards)
 	e.AddKPISharder(k)
-	err := e.Run(NewSliceSource([]DayBatch{{Day: 0, Cells: cells}}))
+	err := e.Run(context.Background(), NewSliceSource([]DayBatch{{Day: 0, Cells: cells}}))
 	if err != nil {
 		t.Fatal(err)
 	}

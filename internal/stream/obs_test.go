@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/mobsim"
@@ -16,10 +17,10 @@ func TestBufferPoolInstrumentedAllocFree(t *testing.T) {
 	reg := obs.New()
 	p := NewBufferPool(2).Instrument(reg)
 	warm := p.get() // first draw allocates the store (a miss)
-	warm.recycle()
+	warm.Recycle(warm.curGen())
 	allocs := testing.AllocsPerRun(100, func() {
 		r := p.get()
-		r.recycle()
+		r.Recycle(r.curGen())
 	})
 	if allocs > 0 {
 		t.Errorf("instrumented pool cycle allocates %.1f per op, want 0", allocs)
@@ -57,7 +58,7 @@ func TestEngineMetrics(t *testing.T) {
 	plain := newRecordingSharder(shards)
 	e := NewEngine(Config{Workers: 2, Shards: shards})
 	e.AddTraceSharder(plain)
-	if err := e.Run(NewSliceSource(syntheticBatchesWithVisits(days, users, visits))); err != nil {
+	if err := e.Run(context.Background(), NewSliceSource(syntheticBatchesWithVisits(days, users, visits))); err != nil {
 		t.Fatal(err)
 	}
 
@@ -65,7 +66,7 @@ func TestEngineMetrics(t *testing.T) {
 	rec := newRecordingSharder(shards)
 	ie := NewEngine(Config{Workers: 2, Shards: shards, Metrics: reg})
 	ie.AddTraceSharder(rec)
-	if err := ie.Run(NewSliceSource(syntheticBatchesWithVisits(days, users, visits))); err != nil {
+	if err := ie.Run(context.Background(), NewSliceSource(syntheticBatchesWithVisits(days, users, visits))); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,16 +1,28 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/mobsim"
 	"repro/internal/obs"
 	"repro/internal/signaling"
 	"repro/internal/timegrid"
 	"repro/internal/traffic"
 )
+
+// Recycler returns a pooled backing store to its free list. Gen is the
+// checkout generation the batch was drawn with; implementations reject
+// mismatched generations (double or stale releases) instead of
+// recycling a store someone else owns — see BufferPool.
+type Recycler interface {
+	Recycle(gen uint64)
+}
 
 // DayBatch is one simulated day of feed records. Cells and Events are
 // nil when the source does not carry that feed.
@@ -20,18 +32,32 @@ type DayBatch struct {
 	Cells  []traffic.CellDay
 	Events []signaling.Event
 
-	// Recycle, when non-nil, returns the batch's backing buffers to the
-	// source that produced it for reuse. Sources set it; everyone else
-	// calls Release. After the hook runs, Traces/Cells/Events may be
-	// overwritten by a later day at any time.
+	// Owner/Gen, when Owner is non-nil, return the batch's pooled
+	// backing store on Release. Gen stamps the checkout, so a released
+	// batch (or any copy of it) can never recycle a store that has
+	// since been re-issued. Sources set these; everyone else calls
+	// Release.
+	Owner Recycler
+	Gen   uint64
+
+	// Recycle is the unpooled recycling hook for ad-hoc batches (tests,
+	// adapters holding their own buffers). Prefer Owner for pooled
+	// stores — a bare func can not carry a generation stamp.
 	Recycle func()
 }
 
-// Release hands the batch's buffers back to their source, exactly once;
-// it is a no-op for batches without a recycle hook. The engine calls it
-// after the merge stage of each day, so consumers must not retain the
-// batch's slices past EndDay/ConsumeDay — copy anything they keep.
+// Release hands the batch's buffers back to their source, exactly once
+// per batch value; it is a no-op for batches without a recycle hook.
+// The engine calls it after the merge stage of each day, so consumers
+// must not retain the batch's slices past EndDay/ConsumeDay — copy
+// anything they keep. Releasing copies of one batch more than once in
+// total is reported and refused by pooled owners (DoubleReleases).
 func (b *DayBatch) Release() {
+	if o := b.Owner; o != nil {
+		b.Owner = nil
+		o.Recycle(b.Gen)
+		return
+	}
 	if f := b.Recycle; f != nil {
 		b.Recycle = nil
 		f()
@@ -39,10 +65,31 @@ func (b *DayBatch) Release() {
 }
 
 // Source delivers day batches in ascending day order; Next returns
-// io.EOF when the stream is exhausted.
+// io.EOF when the stream is exhausted, and any other error to abort
+// the run (cancellation surfaces as the context's error).
 type Source interface {
 	Next() (DayBatch, error)
 }
+
+// Stopper is the optional early-shutdown half of a Source. The engine
+// calls Stop when it abandons a source before EOF — on cancellation or
+// a downstream failure — so producer goroutines exit and in-flight
+// pooled buffers return to their free lists. Stop must be idempotent.
+type Stopper interface {
+	Stop()
+}
+
+// stopSource stops src if it knows how to be stopped.
+func stopSource(src Source) {
+	if st, ok := src.(Stopper); ok {
+		st.Stop()
+	}
+}
+
+// errStopped is returned by Next on a source that was stopped before
+// its stream ended (calling Next after Stop is a caller bug; the error
+// makes it loud instead of a hang).
+var errStopped = errors.New("stream: source stopped")
 
 // SimSource produces day batches from the live simulator. Day
 // generation — mobsim.Simulator.Day plus, when a traffic engine is
@@ -61,11 +108,22 @@ type Source interface {
 // engine does, after each day's merge stage) keeps the whole run at
 // O(workers+buffer) live day buffers; a consumer that never releases
 // merely falls back to one allocation set per day, as before.
+//
+// Failure semantics: a producer panic is recovered into a
+// *WorkerPanic, cancellation of the construction context surfaces as
+// its ctx.Err() — either stops all workers, releases every in-flight
+// pooled buffer back to the free list, and is returned by the next
+// Next call. The source never crashes the process.
 type SimSource struct {
 	out  chan DayBatch
 	done chan struct{}
+	stop sync.Once
 	pool *BufferPool
+	fi   *fault.Injector
 	m    *sourceMetrics
+
+	mu  sync.Mutex
+	err error // first failure: worker panic, injected error or ctx.Err
 }
 
 // sourceMetrics are the source's handles, resolved once in
@@ -94,12 +152,13 @@ func newSourceMetrics(r *obs.Registry, workers int) *sourceMetrics {
 
 // NewSimSource streams days [first, limit). A nil engine skips KPI
 // generation (mobility-only runs). cfg sizes the worker pool and the
-// backpressure window. The source recycles through a private
-// BufferPool; callers running several sources in sequence (scenario
-// sweeps) should use NewSimSourcePooled to share one warm pool across
-// them.
-func NewSimSource(sim *mobsim.Simulator, eng *traffic.Engine, first, limit timegrid.SimDay, cfg Config) *SimSource {
-	return NewSimSourcePooled(sim, eng, first, limit, cfg, nil)
+// backpressure window; ctx cancels production (workers stop within one
+// day of work and pooled buffers are recycled). The source recycles
+// through a private BufferPool; callers running several sources in
+// sequence (scenario sweeps) should use NewSimSourcePooled to share one
+// warm pool across them.
+func NewSimSource(ctx context.Context, sim *mobsim.Simulator, eng *traffic.Engine, first, limit timegrid.SimDay, cfg Config) *SimSource {
+	return NewSimSourcePooled(ctx, sim, eng, first, limit, cfg, nil)
 }
 
 // NewSimSourcePooled is NewSimSource drawing day-buffer backing stores
@@ -107,7 +166,7 @@ func NewSimSource(sim *mobsim.Simulator, eng *traffic.Engine, first, limit timeg
 // pool may be shared with other sources, but only with sources whose
 // batches have all been released (or abandoned for good) — a store is
 // owned by one batch at a time.
-func NewSimSourcePooled(sim *mobsim.Simulator, eng *traffic.Engine, first, limit timegrid.SimDay, cfg Config, pool *BufferPool) *SimSource {
+func NewSimSourcePooled(ctx context.Context, sim *mobsim.Simulator, eng *traffic.Engine, first, limit timegrid.SimDay, cfg Config, pool *BufferPool) *SimSource {
 	cfg = cfg.WithDefaults()
 	if pool == nil {
 		// Only a pool this source created gets instrumented here: a
@@ -120,26 +179,83 @@ func NewSimSourcePooled(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 		out:  make(chan DayBatch),
 		done: make(chan struct{}),
 		pool: pool,
+		fi:   cfg.Fault,
 		m:    newSourceMetrics(cfg.Metrics, cfg.Workers),
 	}
-	go s.run(sim, eng, first, limit, cfg)
+	go s.run(ctx, sim, eng, first, limit, cfg)
 	return s
 }
 
-// Next returns the next day batch, in day order.
+// Next returns the next day batch, in day order. After the stream ends
+// it returns io.EOF; after a failure (producer panic, injected fault,
+// cancellation) it returns that failure.
 func (s *SimSource) Next() (DayBatch, error) {
 	b, ok := <-s.out
 	if !ok {
+		if err := s.failure(); err != nil {
+			return DayBatch{}, err
+		}
+		select {
+		case <-s.done:
+			return DayBatch{}, errStopped
+		default:
+		}
 		return DayBatch{}, io.EOF
 	}
 	return b, nil
 }
 
-// Stop abandons the stream early and releases the producer goroutines.
-// Call it at most once; Next must not be called after Stop.
-func (s *SimSource) Stop() { close(s.done) }
+// Stop abandons the stream early: producer goroutines exit within one
+// day of work and in-flight pooled buffers are recycled. Idempotent;
+// Next must not be called after Stop (it returns errStopped if it is).
+func (s *SimSource) Stop() { s.stop.Do(func() { close(s.done) }) }
 
-func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit timegrid.SimDay, cfg Config) {
+// fail records the first failure and stops the stream.
+func (s *SimSource) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.Stop()
+}
+
+func (s *SimSource) failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// produceDay computes one day into a pooled store. Panics are recovered
+// into a *WorkerPanic and the store is recycled on every failure path,
+// so a poisoned day can neither crash the process nor leak its buffer.
+func (s *SimSource) produceDay(sim *mobsim.Simulator, eng *traffic.Engine, day timegrid.SimDay, cfg Config) (b DayBatch, err error) {
+	res := s.pool.get()
+	defer func() {
+		if v := recover(); v != nil {
+			err = NewWorkerPanic("produce", -1, day, v)
+		}
+		if err != nil {
+			res.Recycle(res.curGen())
+			b = DayBatch{}
+		}
+	}()
+	if ferr := s.fi.Fire(fault.ProduceDay, int64(day)); ferr != nil {
+		return DayBatch{}, ferr
+	}
+	b = DayBatch{Day: day, Traces: sim.DayInto(res.buf, day), Owner: res, Gen: res.curGen()}
+	if eng != nil {
+		if cfg.EngineShards > 1 {
+			res.cells = eng.DayAppendSharded(res.cells[:0], day, b.Traces, cfg.EngineShards)
+		} else {
+			res.cells = eng.DayAppend(res.cells[:0], day, b.Traces)
+		}
+		b.Cells = res.cells
+	}
+	return b, nil
+}
+
+func (s *SimSource) run(ctx context.Context, sim *mobsim.Simulator, eng *traffic.Engine, first, limit timegrid.SimDay, cfg Config) {
 	defer close(s.out)
 	if first >= limit {
 		return
@@ -188,6 +304,9 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 				case sem <- struct{}{}:
 				case <-s.done:
 					return
+				case <-ctx.Done():
+					s.fail(ctx.Err())
+					return
 				}
 				day := timegrid.SimDay(atomic.AddInt64(&next, 1) - 1)
 				if day >= limit {
@@ -199,15 +318,10 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 					t1 = time.Now()
 					m.idle.Add(int64(t1.Sub(t0)))
 				}
-				res := s.pool.get()
-				b := DayBatch{Day: day, Traces: sim.DayInto(res.buf, day), Recycle: res.recycle}
-				if eng != nil {
-					if cfg.EngineShards > 1 {
-						res.cells = eng.DayAppendSharded(res.cells[:0], day, b.Traces, cfg.EngineShards)
-					} else {
-						res.cells = eng.DayAppend(res.cells[:0], day, b.Traces)
-					}
-					b.Cells = res.cells
+				b, err := s.produceDay(sim, eng, day, cfg)
+				if err != nil {
+					s.fail(err)
+					return
 				}
 				var t2 time.Time
 				if m != nil {
@@ -219,6 +333,11 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 				select {
 				case results <- b:
 				case <-s.done:
+					b.Release()
+					return
+				case <-ctx.Done():
+					b.Release()
+					s.fail(ctx.Err())
 					return
 				}
 				if m != nil {
@@ -239,12 +358,25 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 		arrived = make(map[timegrid.SimDay]time.Time, window)
 	}
 	pending := make(map[timegrid.SimDay]DayBatch, window)
+	// releasePending recycles every batch the sequencer still holds, so
+	// an abandoned stream returns its pooled buffers to the free list.
+	releasePending := func() {
+		for day, b := range pending {
+			b.Release()
+			delete(pending, day)
+		}
+	}
 	emit := first
 	for received := 0; received < total; {
 		var b DayBatch
 		select {
 		case b = <-results:
 		case <-s.done:
+			releasePending()
+			return
+		case <-ctx.Done():
+			s.fail(ctx.Err())
+			releasePending()
 			return
 		}
 		received++
@@ -268,6 +400,13 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 			select {
 			case s.out <- nb:
 			case <-s.done:
+				nb.Release()
+				releasePending()
+				return
+			case <-ctx.Done():
+				s.fail(ctx.Err())
+				nb.Release()
+				releasePending()
 				return
 			}
 			<-sem
@@ -280,11 +419,18 @@ func (s *SimSource) run(sim *mobsim.Simulator, eng *traffic.Engine, first, limit
 // batches are produced before the consumer asks for them, so e.g. CSV
 // feed decoding overlaps with analytics. The bounded channel is the
 // backpressure: a slow consumer stalls the producer after n batches.
+// The wrapper is a Stopper: stopping it ends the decode goroutine,
+// releases the prefetched batches and stops the wrapped source.
 func Prefetch(src Source, n int) Source {
 	if n < 1 {
 		n = 1
 	}
-	p := &prefetchSource{ch: make(chan DayBatch, n), errc: make(chan error, 1)}
+	p := &prefetchSource{
+		src:  src,
+		ch:   make(chan DayBatch, n),
+		errc: make(chan error, 1),
+		done: make(chan struct{}),
+	}
 	go func() {
 		defer close(p.ch)
 		for {
@@ -293,16 +439,25 @@ func Prefetch(src Source, n int) Source {
 				p.errc <- err
 				return
 			}
-			p.ch <- b
+			select {
+			case p.ch <- b:
+			case <-p.done:
+				b.Release()
+				p.errc <- errStopped
+				return
+			}
 		}
 	}()
 	return p
 }
 
 type prefetchSource struct {
+	src  Source
 	ch   chan DayBatch
 	errc chan error
 	err  error
+	done chan struct{}
+	stop sync.Once
 }
 
 func (p *prefetchSource) Next() (DayBatch, error) {
@@ -314,6 +469,24 @@ func (p *prefetchSource) Next() (DayBatch, error) {
 		return DayBatch{}, p.err
 	}
 	return b, nil
+}
+
+// Stop ends the decode-ahead goroutine, releases every batch still in
+// the prefetch window and stops the wrapped source. Idempotent; Next
+// must not be called after Stop.
+func (p *prefetchSource) Stop() {
+	p.stop.Do(func() {
+		close(p.done)
+		// Stop the wrapped source first: the producer may be blocked
+		// inside src.Next, and a stopped source returns an error there.
+		stopSource(p.src)
+		// The producer exits on done (or on its source's next error) and
+		// closes ch on the way out; draining releases whatever it had
+		// already decoded.
+		for b := range p.ch {
+			b.Release()
+		}
+	})
 }
 
 // sliceSource replays pre-built batches; used by tests and by feed

@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# fault_check.sh -- reliability layering gate.
+#
+# Three invariants, all load-bearing for the PR 7 failure-semantics
+# design (RELIABILITY.md):
+#
+#  1. Nothing under internal/ decides process fate. Library errors flow
+#     up as values and only the cmd layer (cmd/internal/cli) maps them
+#     to exit codes — an os.Exit or log.Fatal inside internal/ would
+#     skip the engine's drain/release paths and the commands' partial
+#     flushing, turning a reported failure into a leak.
+#
+#  2. repro/internal/fault stays stdlib-only. The injector is threaded
+#     through the orchestration layers; any repro dependency would make
+#     "the harness is armable anywhere" an import-cycle lottery.
+#
+#  3. The leaf compute packages — the kernels with 0 allocs/op pins and
+#     bit-identical goldens — must not import the fault harness.
+#     Injection points belong to the orchestration layers (stream,
+#     feeds, experiments); a Fire call inside a kernel is a layering
+#     bug even though it is nil-safe.
+#
+# Run from the repository root: sh scripts/fault_check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1: no process-fate calls under internal/ ---------------------------
+# Non-test sources only: tests may use t.Fatal freely (different Fatal),
+# so match the os.Exit and log.Fatal* call forms specifically.
+hits=$(grep -rn --include='*.go' -e 'os\.Exit(' -e 'log\.Fatal' internal/ | grep -v '_test\.go' || true)
+if [ -n "$hits" ]; then
+    echo "FAIL: internal/ packages decide process fate (use error returns + cmd/internal/cli):" >&2
+    echo "$hits" >&2
+    fail=1
+fi
+
+# --- 2: fault dependency closure ----------------------------------------
+deps=$(go list -deps repro/internal/fault | grep '^repro' | grep -v '^repro/internal/fault$' || true)
+if [ -n "$deps" ]; then
+    echo "FAIL: repro/internal/fault depends on repro packages (must stay stdlib-only):" >&2
+    echo "$deps" >&2
+    fail=1
+fi
+
+# --- 3: no fault import sites in leaf compute packages ------------------
+# Everything under internal/ except the orchestration layers that own
+# injection points: stream, feeds, experiments (and fault itself).
+leaves="census core devices epi geo mobsim obs pandemic popsim prof radio report rng scenario signaling stats timegrid traffic"
+for pkg in $leaves; do
+    importers=$(go list -f '{{.ImportPath}} {{join .Imports " "}} {{join .TestImports " "}}' "repro/internal/$pkg" | grep -c 'repro/internal/fault' || true)
+    if [ "$importers" -ne 0 ]; then
+        echo "FAIL: leaf package repro/internal/$pkg imports repro/internal/fault" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "fault layering OK: no process exits under internal/; fault is stdlib-only; no leaf package imports fault"
