@@ -626,6 +626,64 @@ func benchmarkSweepParallel(b *testing.B, parallel int) {
 func BenchmarkSweepParallel(b *testing.B)  { benchmarkSweepParallel(b, 2) }
 func BenchmarkSweepParallel4(b *testing.B) { benchmarkSweepParallel(b, 4) }
 
+// sweepAllFixture builds the full 7-scenario registry set over its own
+// world at the default 8k-user scale (the scale BenchmarkRunStandardSerial
+// and the streaming benchmarks quote) — the copy-on-divergence headline
+// pair runs here rather than on the small sweepBenchFixture world. At
+// 1000 users the per-cell engine reduction and KPI fold, which do not
+// scale with users, dominate each day and flatten the relative win of
+// the shared prefix; at the production scale the per-user simulation
+// work and the streaming pipeline overhead the forked path avoids are
+// proportionally larger, so this pair reflects what mnosweep/ablate
+// users actually see. February home detection is warmed so the pair
+// measures only the study passes.
+var (
+	sweepAllOnce   sync.Once
+	sweepAllWorld  *experiments.World
+	sweepAllCfg    experiments.Config
+	sweepAllScens_ []experiments.SweepScenario
+)
+
+func sweepAllFixture(b *testing.B) (*experiments.World, experiments.Config, []experiments.SweepScenario) {
+	b.Helper()
+	sweepAllOnce.Do(func() {
+		sweepAllCfg = experiments.DefaultConfig()
+		sweepAllWorld = experiments.NewWorld(sweepAllCfg)
+		sweepAllWorld.Homes()
+		for _, name := range scenario.Names() {
+			s, err := scenario.Load(name)
+			if err != nil {
+				panic(err)
+			}
+			sweepAllScens_ = append(sweepAllScens_, experiments.SweepScenario{Name: name, Scenario: s})
+		}
+	})
+	return sweepAllWorld, sweepAllCfg, sweepAllScens_
+}
+
+// benchmarkSweepRegistry sweeps the whole registry through the public
+// executor with copy-on-divergence on or off — exactly the two sides of
+// the mnosweep -share-prefix flag. Output is bit-identical either way
+// (asserted by TestSharedPrefixSweepMatchesUnshared); what varies is
+// wall clock: the shared path simulates each shared scenario prefix
+// once and forks checkpoints at the divergence days (see PERFORMANCE.md,
+// "Copy-on-divergence sweeps" for the expected gap decomposition).
+func benchmarkSweepRegistry(b *testing.B, share bool) {
+	w, cfg, scens := sweepAllFixture(b)
+	scfg := stream.Config{Workers: 1}
+	opt := experiments.SweepOptions{Parallel: 1, SharePrefix: share}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if runs, err := experiments.RunSweepParallelOpts(context.Background(), w, cfg, scfg, scens, opt); err != nil || len(runs) != len(scens) {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+func BenchmarkSweepSharedPrefix(b *testing.B)     { benchmarkSweepRegistry(b, true) }
+func BenchmarkSweepUnsharedRegistry(b *testing.B) { benchmarkSweepRegistry(b, false) }
+
 // BenchmarkQSketch measures the streaming quantile sketch hot path.
 func BenchmarkQSketch(b *testing.B) {
 	q := stream.NewQSketch()

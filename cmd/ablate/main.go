@@ -12,10 +12,15 @@
 // built once); each then instantiates whatever per-scenario or
 // per-parameter stack it needs on top.
 //
+// -share-prefix (default on) runs the scenario ablation
+// copy-on-divergence: shared scenario prefixes are simulated once and
+// forked at the divergence day (bit-identical output, see
+// PERFORMANCE.md, "Copy-on-divergence sweeps").
+//
 // Usage:
 //
 //	ablate [-which all|scenario|interconnect|topn|nights|offload] [-users N]
-//	       [-cpuprofile F] [-memprofile F]
+//	       [-share-prefix=BOOL] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -39,10 +44,11 @@ import (
 
 func main() {
 	var (
-		which = flag.String("which", "all", "ablation to run")
-		users = flag.Int("users", 4000, "synthetic users")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		pf    = prof.Flags()
+		which       = flag.String("which", "all", "ablation to run")
+		users       = flag.Int("users", 4000, "synthetic users")
+		seed        = flag.Uint64("seed", 42, "random seed")
+		sharePrefix = flag.Bool("share-prefix", true, "simulate shared scenario prefixes once and fork at the divergence day (scenario ablation; bit-identical output)")
+		pf          = prof.Flags()
 	)
 	flag.Parse()
 
@@ -59,7 +65,7 @@ func main() {
 				fmt.Println()
 			}
 		}
-		run("scenario", ablateScenario)
+		run("scenario", func(w *experiments.World) { ablateScenario(w, *sharePrefix) })
 		run("interconnect", ablateInterconnect)
 		run("topn", ablateTopN)
 		run("nights", ablateNights)
@@ -74,8 +80,9 @@ func main() {
 // time (each streaming run kept single-worker so the goroutine budget
 // stays bounded), the headline statistics extracted by
 // experiments.Headlines, and every timeline differenced against the
-// no-pandemic baseline.
-func ablateScenario(w *experiments.World) {
+// no-pandemic baseline. sharePrefix runs it copy-on-divergence
+// (bit-identical output, shared prefixes simulated once).
+func ablateScenario(w *experiments.World, sharePrefix bool) {
 	cfg := experiments.DefaultConfig()
 	cfg.SkipKPI = true
 	var scens []experiments.SweepScenario
@@ -87,7 +94,8 @@ func ablateScenario(w *experiments.World) {
 		}
 		scens = append(scens, experiments.SweepScenario{Name: name, Scenario: s})
 	}
-	runs, err := experiments.RunSweepParallel(context.Background(), w, cfg, stream.Config{Workers: 1}, scens, 2)
+	runs, err := experiments.RunSweepParallelOpts(context.Background(), w, cfg, stream.Config{Workers: 1}, scens,
+		experiments.SweepOptions{Parallel: 2, SharePrefix: sharePrefix})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return

@@ -28,18 +28,28 @@ const journalVersion = 1
 // the current flags — silently mixing headline sets from two different
 // sweeps is exactly the corruption a journal exists to prevent.
 type journalHeader struct {
-	V         int      `json:"v"`
-	Kind      string   `json:"kind"`
-	Users     int      `json:"users"`
-	Seed      uint64   `json:"seed"`
-	NoKPI     bool     `json:"nokpi"`
-	Scenarios []string `json:"scenarios"`
+	V     int    `json:"v"`
+	Kind  string `json:"kind"`
+	Users int    `json:"users"`
+	Seed  uint64 `json:"seed"`
+	NoKPI bool   `json:"nokpi"`
+	// SharePrefix records whether the sweep ran copy-on-divergence.
+	// Results are bit-identical either way, but a journal must not stitch
+	// runs recorded under differing settings — the setting changes which
+	// simulation path produced the entries, and a resume that silently
+	// mixes paths would mask any parity regression between them.
+	SharePrefix bool     `json:"share_prefix"`
+	Scenarios   []string `json:"scenarios"`
 }
 
-// journalEntry is one completed scenario run.
+// journalEntry is one completed scenario run. ForkedFrom/PrefixDays
+// record copy-on-divergence provenance when the run was forked from
+// another scenario's checkpoint (absent for standalone day-0 runs).
 type journalEntry struct {
-	Run       string                  `json:"run"`
-	Headlines []experiments.Headline  `json:"headlines"`
+	Run        string                 `json:"run"`
+	ForkedFrom string                 `json:"forked_from,omitempty"`
+	PrefixDays int                    `json:"prefix_days,omitempty"`
+	Headlines  []experiments.Headline `json:"headlines"`
 }
 
 // journal appends completed runs to an open file.
@@ -89,7 +99,7 @@ func (j *journal) record(run experiments.SweepRun) error {
 	if run.Err != nil {
 		return nil
 	}
-	return j.writeLine(journalEntry{Run: run.Name, Headlines: run.Headlines})
+	return j.writeLine(journalEntry{Run: run.Name, ForkedFrom: run.ForkedFrom, PrefixDays: run.PrefixDays, Headlines: run.Headlines})
 }
 
 func (j *journal) writeLine(v any) error {
@@ -145,7 +155,7 @@ func readJournal(path string) (journalHeader, map[string][]experiments.Headline,
 // headerMatches reports whether a journal belongs to the sweep about to
 // run: same knobs, same scenario set in the same order.
 func headerMatches(a, b journalHeader) bool {
-	if a.V != b.V || a.Kind != b.Kind || a.Users != b.Users || a.Seed != b.Seed || a.NoKPI != b.NoKPI {
+	if a.V != b.V || a.Kind != b.Kind || a.Users != b.Users || a.Seed != b.Seed || a.NoKPI != b.NoKPI || a.SharePrefix != b.SharePrefix {
 		return false
 	}
 	if len(a.Scenarios) != len(b.Scenarios) {

@@ -9,6 +9,14 @@
 // files (the SCENARIOS.md schema); "all" expands to every registry
 // built-in.
 //
+// -share-prefix (default on) runs the sweep copy-on-divergence: the
+// scenarios are grouped by the first day their behaviour can differ
+// (pandemic.Scenario.DivergenceFrom), each shared prefix is simulated
+// once, checkpointed at the fork day and forked per scenario. Output is
+// bit-identical to -share-prefix=false; the journal records which runs
+// were forked and how many days they skipped. See PERFORMANCE.md,
+// "Copy-on-divergence sweeps".
+//
 // -parallel N executes up to N scenario runs concurrently
 // (experiments.RunSweepParallel): output is bit-identical to the serial
 // sweep, re-sequenced to the input order. A parallel sweep usually
@@ -44,6 +52,7 @@
 //
 //	mnosweep [-list] [-scenarios NAMES|all] [-users N] [-seed S] [-nokpi]
 //	         [-workers W] [-shards K] [-engineshards E] [-parallel P]
+//	         [-share-prefix=BOOL]
 //	         [-baseline NAME] [-journal FILE] [-resume] [-fault SPEC]
 //	         [-metrics ADDR] [-metrics-out FILE]
 //	         [-cpuprofile F] [-memprofile F]
@@ -78,6 +87,7 @@ func main() {
 		shards      = flag.Int("shards", 0, "logical shards (0: default)")
 		engShards   = flag.Int("engineshards", 0, "intra-day KPI accumulation shards (<=1: serial engine; sharded KPI values differ from serial only in float association, <=1e-9 relative)")
 		parallel    = flag.Int("parallel", 1, "concurrent scenario runs (1: serial; output is identical either way)")
+		sharePrefix = flag.Bool("share-prefix", true, "simulate shared scenario prefixes once and fork at the divergence day (bit-identical output; =false re-simulates every scenario from day 0)")
 		baseline    = flag.String("baseline", "", "scenario name to difference every other run against (prints the delta table)")
 		journalPath = flag.String("journal", "", "record completed runs to this JSON-lines file as they finish")
 		resume      = flag.Bool("resume", false, "skip runs already recorded in the -journal file (requires -journal)")
@@ -95,7 +105,7 @@ func main() {
 	defer stop()
 
 	err := of.Run(func() error {
-		return run(ctx, *names, *users, *seed, *noKPI, *workers, *shards, *engShards, *parallel, *baseline, *journalPath, *resume, *faultSpec, of.Registry())
+		return run(ctx, *names, *users, *seed, *noKPI, *workers, *shards, *engShards, *parallel, *sharePrefix, *baseline, *journalPath, *resume, *faultSpec, of.Registry())
 	})
 	cli.Exit("mnosweep", err)
 }
@@ -142,7 +152,7 @@ func resolve(names string) ([]experiments.SweepScenario, error) {
 	return out, nil
 }
 
-func run(ctx context.Context, names string, users int, seed uint64, noKPI bool, workers, shards, engShards, parallel int, baseline, journalPath string, resume bool, faultSpec string, reg *obs.Registry) error {
+func run(ctx context.Context, names string, users int, seed uint64, noKPI bool, workers, shards, engShards, parallel int, sharePrefix bool, baseline, journalPath string, resume bool, faultSpec string, reg *obs.Registry) error {
 	scens, err := resolve(names)
 	if err != nil {
 		return err
@@ -185,7 +195,7 @@ func run(ctx context.Context, names string, users int, seed uint64, noKPI bool, 
 	var (
 		jnl  *journal
 		done map[string][]experiments.Headline
-		opt  = experiments.SweepOptions{Parallel: parallel}
+		opt  = experiments.SweepOptions{Parallel: parallel, SharePrefix: sharePrefix}
 	)
 	if journalPath != "" {
 		labels := make([]string, len(scens))
@@ -193,7 +203,7 @@ func run(ctx context.Context, names string, users int, seed uint64, noKPI bool, 
 			labels[i] = sc.Name
 		}
 		hdr := journalHeader{V: journalVersion, Kind: "mnosweep-journal",
-			Users: users, Seed: seed, NoKPI: noKPI, Scenarios: labels}
+			Users: users, Seed: seed, NoKPI: noKPI, SharePrefix: sharePrefix, Scenarios: labels}
 		jnl, done, err = openJournal(journalPath, hdr, resume)
 		if err != nil {
 			return err

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/timegrid"
+)
+
+// A Checkpoint captures the state of a study-window run at a day
+// boundary: study days [0, Day) consumed, everything the per-day loop
+// threads forward across days. That state is exactly the analyzer folds
+// — by the pipeline's day-purity invariants, nothing else carries
+// across a day boundary:
+//
+//   - rng streams are derived fresh per (user, day) from the master
+//     seed (rng.Stream2), so no generator position survives a day;
+//   - the mobility simulator is a pure function of (population,
+//     scenario, seed, day) — mobsim.Simulator.DayInto holds no
+//     cross-day state;
+//   - the traffic engine's tower accumulators are epoch-stamped per-day
+//     scratch, rebuilt from that day's traces (traffic.Engine.DayAppend
+//     is pure in construction inputs and day), and engine construction
+//     is scenario-independent (Engine.Rebind);
+//   - the February home-detection fold is finished before the study
+//     window starts and shared read-only (World.Homes).
+//
+// A checkpoint taken at the fork day of two scenarios that agree on
+// every earlier day (pandemic.Scenario.DivergenceFrom) can therefore
+// seed either scenario's continuation, bit-identically to running that
+// scenario from day 0 — the basis of the copy-on-divergence sweep.
+// Fork gives each continuation its own deep copy; State/Restore
+// round-trip the checkpoint through JSON or gob for crash recovery and
+// warm starts.
+type Checkpoint struct {
+	// Day is the first unconsumed study day: the run resumes here.
+	Day timegrid.StudyDay
+	// Seed and Users identify the world the folds were computed over;
+	// Restore refuses a mismatched world.
+	Seed  uint64
+	Users int
+
+	Mobility *core.MobilityAnalyzer
+	Matrix   *core.MobilityMatrix
+	// KPI is nil for SkipKPI (mobility-only) runs.
+	KPI *core.KPIAnalyzer
+}
+
+// Fork returns an independent deep copy: continuations advanced from
+// the original and the fork (e.g. under different scenarios) share no
+// mutable state (asserted by TestCheckpointForkNoAliasing).
+func (c *Checkpoint) Fork() *Checkpoint {
+	f := &Checkpoint{Day: c.Day, Seed: c.Seed, Users: c.Users,
+		Mobility: c.Mobility.Fork(), Matrix: c.Matrix.Fork()}
+	if c.KPI != nil {
+		f.KPI = c.KPI.Fork()
+	}
+	return f
+}
+
+// checkpointVersion guards the serialized format.
+const checkpointVersion = 1
+
+// CheckpointState is the serializable form of a Checkpoint: plain
+// exported data that round-trips through encoding/json and encoding/gob
+// without loss (float64 folds are preserved bit-exactly by both).
+type CheckpointState struct {
+	V     int    `json:"v"`
+	Seed  uint64 `json:"seed"`
+	Users int    `json:"users"`
+	Day   int    `json:"day"`
+
+	Mobility core.MobilityState `json:"mobility"`
+	Matrix   core.MatrixState   `json:"matrix"`
+	KPI      *core.KPIState     `json:"kpi,omitempty"`
+}
+
+// State snapshots the checkpoint for serialization.
+func (c *Checkpoint) State() CheckpointState {
+	st := CheckpointState{
+		V:        checkpointVersion,
+		Seed:     c.Seed,
+		Users:    c.Users,
+		Day:      int(c.Day),
+		Mobility: c.Mobility.State(),
+		Matrix:   c.Matrix.State(),
+	}
+	if c.KPI != nil {
+		k := c.KPI.State()
+		st.KPI = &k
+	}
+	return st
+}
+
+// RestoreCheckpoint rebuilds a checkpoint against a live world, which
+// must be the world the snapshot was taken over (same seed and user
+// count; the analyzer restores further validate the model and topology
+// shapes). Resuming a scenario from the restored checkpoint is
+// bit-identical to resuming from the original.
+func RestoreCheckpoint(w *World, st CheckpointState) (*Checkpoint, error) {
+	if st.V != checkpointVersion {
+		return nil, fmt.Errorf("experiments: checkpoint version %d, this build reads %d", st.V, checkpointVersion)
+	}
+	if st.Seed != w.Seed || st.Users != w.TargetUsers {
+		return nil, fmt.Errorf("experiments: checkpoint is for seed %d / %d users, world has seed %d / %d users",
+			st.Seed, st.Users, w.Seed, w.TargetUsers)
+	}
+	if st.Day < 0 || st.Day > timegrid.StudyDays {
+		return nil, fmt.Errorf("experiments: checkpoint day %d outside [0, %d]", st.Day, timegrid.StudyDays)
+	}
+	mob, err := core.RestoreMobilityAnalyzer(w.Pop, st.Mobility)
+	if err != nil {
+		return nil, err
+	}
+	mat, err := core.RestoreMobilityMatrix(w.Pop, st.Matrix)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{Day: timegrid.StudyDay(st.Day), Seed: st.Seed, Users: st.Users, Mobility: mob, Matrix: mat}
+	if st.KPI != nil {
+		kpi, err := core.RestoreKPIAnalyzer(w.Topology, *st.KPI)
+		if err != nil {
+			return nil, err
+		}
+		ck.KPI = kpi
+	}
+	return ck, nil
+}

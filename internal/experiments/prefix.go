@@ -1,0 +1,616 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/mobsim"
+	"repro/internal/obs"
+	"repro/internal/pandemic"
+	"repro/internal/popsim"
+	"repro/internal/stream"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// Copy-on-divergence sweep: before a scenario's behaviour departs from
+// an already-scheduled scenario's (pandemic.Scenario.DivergenceFrom),
+// their simulated days are bit-identical — so the sweep simulates each
+// shared prefix once, checkpoints at the fork day, and forks the
+// continuation per scenario. See PERFORMANCE.md, "Copy-on-divergence
+// sweeps".
+
+// prefixPlan is the fork tree of a sweep: for every scenario, the
+// earlier-indexed scenario it forks from (or -1 for a root that runs
+// from day 0) and the number of leading study days they share.
+type prefixPlan struct {
+	parent   []int
+	forkDay  []int
+	children [][]int
+	// snapAt[i] marks the study days run i must checkpoint at, i.e. the
+	// fork days of its non-rider children. timegrid.StudyDays itself is
+	// a valid snap day (behaviourally identical scenarios fork after the
+	// last day and re-simulate nothing).
+	snapAt []map[int]bool
+	// rider[i] marks scenarios whose traces are bit-identical to their
+	// parent's over the whole window (pandemic.Scenario.TraceEqual):
+	// instead of forking a checkpoint and re-simulating the suffix, a
+	// rider runs inside its host's day loop, consuming the host's traces
+	// with its own traffic engine and KPI fold. riders[j] lists run j's
+	// riders. Riders are leaves — they never host checkpoints or riders
+	// of their own.
+	rider  []bool
+	riders [][]int
+}
+
+// planPrefix builds the fork tree greedily: each scenario forks from
+// the earlier-indexed scenario it shares the most leading days with
+// (ties to the smallest index). The earliest-index tie-break makes the
+// tree feasible by construction: divergence days are an ultrametric
+// (two scenarios that each match a third through day d-1 match each
+// other through day d-1), so a child is only attached to parent i when
+// it shares strictly more days with i than with i's own ancestor —
+// every checkpoint a run must take therefore lies at or after the day
+// the run itself starts.
+func planPrefix(scens []SweepScenario) prefixPlan {
+	n := len(scens)
+	p := prefixPlan{
+		parent:   make([]int, n),
+		forkDay:  make([]int, n),
+		children: make([][]int, n),
+		snapAt:   make([]map[int]bool, n),
+		rider:    make([]bool, n),
+		riders:   make([][]int, n),
+	}
+	compiled := make([]*pandemic.Scenario, n)
+	for i := range scens {
+		if compiled[i] = scens[i].Scenario; compiled[i] == nil {
+			compiled[i] = pandemic.Default()
+		}
+	}
+	for i := 0; i < n; i++ {
+		p.parent[i] = -1
+		best := 0
+		for j := 0; j < i; j++ {
+			if shared := sharedPrefixDays(compiled[i], compiled[j]); shared > best {
+				best, p.parent[i] = shared, j
+			}
+		}
+		p.forkDay[i] = best
+		if j := p.parent[i]; j >= 0 {
+			p.children[j] = append(p.children[j], i)
+		}
+	}
+	// Riders: parented leaves whose traces are bit-identical to their
+	// parent's over the whole study window. Only leaves qualify — a run
+	// that hands checkpoints (or riders) to others must own its day loop.
+	// A rider's parent is never itself a rider: having a child
+	// disqualifies the parent from the leaf check.
+	for i := 0; i < n; i++ {
+		if j := p.parent[i]; j >= 0 && len(p.children[i]) == 0 && compiled[i].TraceEqual(compiled[j]) {
+			p.rider[i] = true
+			p.riders[j] = append(p.riders[j], i)
+		}
+	}
+	// The checkpoint hand-off covers non-rider children only; riders are
+	// serviced inside the host's own day loop.
+	for j := 0; j < n; j++ {
+		kept := p.children[j][:0]
+		for _, c := range p.children[j] {
+			if p.rider[c] {
+				continue
+			}
+			kept = append(kept, c)
+			if p.snapAt[j] == nil {
+				p.snapAt[j] = make(map[int]bool)
+			}
+			p.snapAt[j][p.forkDay[c]] = true
+		}
+		p.children[j] = kept
+	}
+	return p
+}
+
+// sharedPrefixDays converts a divergence day into a whole number of
+// leading study days two scenarios share, clamped to the study window
+// (+Inf — behaviourally identical — shares everything).
+func sharedPrefixDays(a, b *pandemic.Scenario) int {
+	div := a.DivergenceFrom(b)
+	if !(div > 0) {
+		return 0 // also catches NaN defensively
+	}
+	if div > timegrid.StudyDays {
+		return timegrid.StudyDays
+	}
+	return int(div)
+}
+
+// captureCheckpoint forks the run's live folds into a checkpoint at
+// study day sd (days [0, sd) consumed).
+func captureCheckpoint(d *Dataset, r *Results, sd int) *Checkpoint {
+	ck := &Checkpoint{
+		Day:      timegrid.StudyDay(sd),
+		Seed:     d.Config.Seed,
+		Users:    d.Config.TargetUsers,
+		Mobility: r.Mobility.Fork(),
+		Matrix:   r.Matrix.Fork(),
+	}
+	if r.KPI != nil {
+		ck.KPI = r.KPI.Fork()
+	}
+	return ck
+}
+
+// riderSpec describes a trace-equal scenario serviced inside a host
+// run's day loop instead of getting a day loop of its own.
+type riderSpec struct {
+	idx     int
+	forkDay int
+	sc      SweepScenario
+}
+
+// riderRun is one rider outcome a host run produced: the rider's sweep
+// result (or its attach-time error) plus the prefix days it inherited.
+type riderRun struct {
+	idx  int
+	days int // fork provenance; 0 when the rider failed
+	run  SweepRun
+}
+
+// errRiderUnattached guards an impossible-by-construction state: the
+// planPrefix feasibility argument puts every rider's fork day at or
+// after its host's start day, so a host loop always visits it.
+var errRiderUnattached = errors.New("experiments: rider fork day precedes host start; plan infeasible")
+
+// enginePool recycles warm traffic engines across the sweep's runs and
+// riders. Rebind is bit-identical to NewEngine, so reuse never changes
+// output; get returns nil when empty and instantiate builds fresh.
+// Engines from panicked runs are never returned (poisoned scratch).
+type enginePool struct {
+	mu   sync.Mutex
+	free []*traffic.Engine
+}
+
+func (p *enginePool) get() *traffic.Engine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free = p.free[:n-1]
+		return e
+	}
+	return nil
+}
+
+func (p *enginePool) put(e *traffic.Engine) {
+	if e == nil {
+		return
+	}
+	p.mu.Lock()
+	p.free = append(p.free, e)
+	p.mu.Unlock()
+}
+
+// runPrefixScenario executes one sweep entry on the checkpointable
+// serial day loop (the RunStandardOn study loop — bit-identical to the
+// streaming engine at any worker and shard count, see RunStreaming),
+// optionally resuming from a forked checkpoint, capturing checkpoints
+// at the requested day boundaries for this run's non-rider children,
+// and carrying the run's riders inline.
+//
+// A rider attaches at the boundary a checkpoint child would fork at
+// (host KPI fold with days [0, forkDay) consumed is the rider's own
+// fold through those days, since factors agree below the fork day) and
+// from there consumes the host's traces — bit-identical to its own by
+// pandemic.Scenario.TraceEqual — with its own traffic engine and KPI
+// fold; its mobility folds are forked from the host's final state.
+// Rider attach runs the same ctx/fault gates a standalone run would, so
+// injected rider faults surface identically; a rider failure never
+// touches the host. A host failure loses its riders' partial state —
+// runPrefixScenario then reports no rider outcomes and the caller falls
+// back to standalone day-0 runs, matching the children-of-a-failed-
+// parent fallback (a panic mid-loop therefore fails the host run but
+// only costs its riders the sharing, not their results).
+//
+// Failure modes otherwise match runScenario: cancelled ctx, injected
+// fault.SweepRun faults, and panics anywhere in the stack all land in
+// run.Err without touching the other runs.
+func runPrefixScenario(ctx context.Context, w *World, cfg Config, scfg stream.Config, sc SweepScenario, idx int, homes homesMap, start *Checkpoint, snapAt map[int]bool, riders []riderSpec, pool *enginePool) (run SweepRun, riderRuns []riderRun, snaps map[int]*Checkpoint) {
+	run.Name = sc.Name
+	defer func() {
+		if v := recover(); v != nil {
+			run.Results, run.Headlines = nil, nil
+			run.Err = stream.NewWorkerPanic("sweep", -1, -1, v)
+			riderRuns, snaps = nil, nil
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		run.Err = err
+		return
+	}
+	if err := scfg.Fault.Fire(fault.SweepRun, int64(idx)); err != nil {
+		run.Err = err
+		return
+	}
+
+	c := cfg
+	c.Scenario = sc.Scenario
+	d := w.instantiate(c, pool.get())
+	r := &Results{Dataset: d, Homes: homes}
+
+	startDay := 0
+	if start != nil {
+		startDay = int(start.Day)
+		r.Mobility, r.Matrix, r.KPI = start.Mobility, start.Matrix, start.KPI
+	} else {
+		// Cohort: users whose detected home county is Inner London —
+		// the same selection as the streaming study pass.
+		inner := d.Model.InnerLondon()
+		var cohort []popsim.UserID
+		for uid, h := range r.Homes {
+			if h.County == inner.ID {
+				cohort = append(cohort, uid)
+			}
+		}
+		r.Mobility = core.NewMobilityAnalyzer(d.Pop, c.TopN)
+		r.Matrix = core.NewMobilityMatrix(d.Pop, inner.ID, cohort, c.TopN)
+		if d.Engine != nil {
+			r.KPI = core.NewKPIAnalyzer(d.Topology)
+		}
+	}
+
+	// Rider stacks: each rider gets its own engine and result set but
+	// shares the host's simulated traces.
+	type riderState struct {
+		riderSpec
+		d        *Dataset
+		r        *Results
+		cells    []traffic.CellDay
+		err      error
+		attached bool
+	}
+	rs := make([]riderState, len(riders))
+	for k, spec := range riders {
+		rc := cfg
+		rc.Scenario = spec.sc.Scenario
+		rd := w.instantiateNoSim(rc, pool.get())
+		rs[k] = riderState{riderSpec: spec, d: rd, r: &Results{Dataset: rd, Homes: homes}}
+	}
+
+	buf := mobsim.NewDayBuffer()
+	var cells []traffic.CellDay
+	for sd := startDay; sd <= timegrid.StudyDays; sd++ {
+		// Checkpoints are taken at day boundaries: state with days
+		// [0, sd) consumed, before day sd is simulated.
+		if snapAt[sd] {
+			if snaps == nil {
+				snaps = make(map[int]*Checkpoint, len(snapAt))
+			}
+			snaps[sd] = captureCheckpoint(d, r, sd)
+		}
+		// Riders attach at the same kind of boundary.
+		for k := range rs {
+			rd := &rs[k]
+			if rd.attached || rd.err != nil || rd.forkDay != sd {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				rd.err = err
+				continue
+			}
+			if err := scfg.Fault.Fire(fault.SweepRun, int64(rd.idx)); err != nil {
+				rd.err = err
+				continue
+			}
+			if r.KPI != nil {
+				rd.r.KPI = r.KPI.Fork()
+			}
+			rd.attached = true
+		}
+		if sd == timegrid.StudyDays {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			run.Err = err
+			return run, nil, nil
+		}
+		day := timegrid.StudyDay(sd).ToSimDay()
+		traces := d.Sim.DayInto(buf, day)
+		r.Mobility.ConsumeDay(day, traces)
+		r.Matrix.ConsumeDay(day, traces)
+		if d.Engine != nil {
+			if scfg.EngineShards > 1 {
+				cells = d.Engine.DayAppendSharded(cells[:0], day, traces, scfg.EngineShards)
+			} else {
+				cells = d.Engine.DayAppend(cells[:0], day, traces)
+			}
+			r.KPI.ConsumeDay(day, cells)
+		}
+		for k := range rs {
+			rd := &rs[k]
+			if !rd.attached || rd.err != nil || rd.d.Engine == nil {
+				continue
+			}
+			if scfg.EngineShards > 1 {
+				rd.cells = rd.d.Engine.DayAppendSharded(rd.cells[:0], day, traces, scfg.EngineShards)
+			} else {
+				rd.cells = rd.d.Engine.DayAppend(rd.cells[:0], day, traces)
+			}
+			rd.r.KPI.ConsumeDay(day, rd.cells)
+		}
+	}
+	run.Results, run.Headlines = r, Headlines(r)
+	// Finalize riders: the host's final mobility folds are each rider's
+	// own (identical traces every day), so fork rather than re-fold.
+	riderRuns = make([]riderRun, 0, len(rs))
+	for k := range rs {
+		rd := &rs[k]
+		rr := riderRun{idx: rd.idx, days: rd.forkDay}
+		rr.run.Name = rd.sc.Name
+		switch {
+		case rd.err != nil:
+			rr.run.Err = rd.err
+			rr.days = 0
+		case !rd.attached:
+			rr.run.Err = errRiderUnattached
+			rr.days = 0
+		default:
+			rd.r.Mobility = r.Mobility.Fork()
+			rd.r.Matrix = r.Matrix.Fork()
+			rr.run.Results, rr.run.Headlines = rd.r, Headlines(rd.r)
+		}
+		pool.put(rd.d.Engine)
+		riderRuns = append(riderRuns, rr)
+	}
+	pool.put(d.Engine)
+	return run, riderRuns, snaps
+}
+
+// ckKey addresses a stored checkpoint: the run that captured it and the
+// day boundary it holds.
+type ckKey struct{ parent, day int }
+
+// ckStore hands forked checkpoints from parents to children, dropping
+// each checkpoint after its last consumer (reference counted up front
+// from the plan).
+type ckStore struct {
+	mu    sync.Mutex
+	plan  *prefixPlan
+	store map[ckKey]*Checkpoint
+	refs  map[ckKey]int
+}
+
+func newCkStore(plan *prefixPlan) *ckStore {
+	s := &ckStore{plan: plan, store: map[ckKey]*Checkpoint{}, refs: map[ckKey]int{}}
+	for i := range plan.parent {
+		if plan.parent[i] >= 0 && !plan.rider[i] {
+			s.refs[ckKey{plan.parent[i], plan.forkDay[i]}]++
+		}
+	}
+	return s
+}
+
+// put stores a finished run's checkpoints, keeping only the ones still
+// awaited.
+func (s *ckStore) put(i int, snaps map[int]*Checkpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for day, ck := range snaps {
+		k := ckKey{i, day}
+		if s.refs[k] > 0 {
+			s.store[k] = ck
+		}
+	}
+}
+
+// take forks run i's planned start checkpoint, or returns nil when the
+// run is a root — or when its parent failed or was cancelled before
+// capturing one, in which case the run falls back to a standalone
+// day-0 run (per-run isolation is preserved over prefix reuse). The
+// reference count drops either way, so abandoned checkpoints are freed.
+func (s *ckStore) take(i int) *Checkpoint {
+	p := s.plan.parent[i]
+	if p < 0 || s.plan.forkDay[i] <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := ckKey{p, s.plan.forkDay[i]}
+	ck := s.store[k]
+	last := false
+	if s.refs[k]--; s.refs[k] <= 0 {
+		delete(s.store, k)
+		delete(s.refs, k)
+		last = true
+	}
+	if ck == nil {
+		return nil
+	}
+	if last {
+		// Hand the last consumer the stored checkpoint itself: nobody
+		// else will read it, so the isolating fork-copy is pure waste
+		// (most checkpoints have exactly one consumer).
+		return ck
+	}
+	return ck.Fork()
+}
+
+// runSweepShared is the copy-on-divergence sweep executor behind
+// SweepOptions.SharePrefix: scenarios run on the checkpointable serial
+// day loop, grouped by divergence into the planPrefix fork tree, each
+// child forking its parent's checkpoint instead of re-simulating the
+// shared prefix; trace-equal leaves skip even that and ride their
+// host's day loop (see prefixPlan.rider). Results are bit-identical to
+// the unshared path (asserted by TestSharedPrefixSweepMatchesUnshared
+// under -race).
+//
+// With opt.Parallel > 1 the fork tree is executed by a worker pool over
+// a ready queue: a scenario becomes ready when its parent run has
+// completed (roots are ready immediately). Scheduling order cannot
+// influence results — every run is deterministic in (world, scenario,
+// start checkpoint) and checkpoints are deterministic in (world,
+// parent scenario, day) — so the output is bit-identical at any worker
+// count. A failed or cancelled parent yields no checkpoints; its
+// children fall back to standalone day-0 runs, preserving the per-run
+// failure isolation of RunSweep.
+func runSweepShared(ctx context.Context, w *World, cfg Config, scfg stream.Config, scens []SweepScenario, opt SweepOptions, notify func(int, SweepRun)) ([]SweepRun, error) {
+	scfg = scfg.WithDefaults()
+	homes := w.Homes()
+	plan := planPrefix(scens)
+	store := newCkStore(&plan)
+	out := make([]SweepRun, len(scens))
+
+	parallel := opt.Parallel
+	if parallel > len(scens) {
+		parallel = len(scens)
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	m := newSweepMetrics(scfg.Metrics, parallel)
+
+	pool := &enginePool{}
+
+	// finish post-processes one completed run (host, rider, or rider
+	// fallback): record fork provenance, bump the sharing counters,
+	// stash the checkpoints its children await and detach the pooled
+	// engine from the stored stack (as in RunSweepParallel).
+	finish := func(i int, run SweepRun, prefixDays int, snaps map[int]*Checkpoint) {
+		if run.Err == nil {
+			if prefixDays > 0 {
+				run.ForkedFrom = scens[plan.parent[i]].Name
+				run.PrefixDays = prefixDays
+				if m != nil {
+					m.forks.Inc()
+					m.prefixSaved.Add(int64(prefixDays))
+				}
+			}
+			store.put(i, snaps)
+			run.Results.Dataset.Engine = nil
+		}
+		out[i] = run
+		notify(i, run)
+		if m != nil {
+			m.runs.Inc()
+		}
+	}
+
+	// riderSpecs materializes run i's planned riders.
+	riderSpecs := func(i int) []riderSpec {
+		rs := plan.riders[i]
+		if len(rs) == 0 {
+			return nil
+		}
+		specs := make([]riderSpec, len(rs))
+		for k, ri := range rs {
+			specs[k] = riderSpec{idx: ri, forkDay: plan.forkDay[ri], sc: scens[ri]}
+		}
+		return specs
+	}
+
+	// execute runs host i with its riders inline and returns every
+	// scenario index it settled. A failed host reports no rider
+	// outcomes; its riders then fall back to standalone day-0 runs,
+	// exactly as the children of a failed checkpoint parent do.
+	execute := func(i int) []int {
+		start := store.take(i)
+		prefixDays := 0
+		if start != nil {
+			prefixDays = int(start.Day)
+		}
+		run, riderRuns, snaps := runPrefixScenario(ctx, w, cfg, scfg, scens[i], i, homes, start, plan.snapAt[i], riderSpecs(i), pool)
+		finish(i, run, prefixDays, snaps)
+		done := append(make([]int, 0, 1+len(plan.riders[i])), i)
+		if run.Err == nil {
+			for _, rr := range riderRuns {
+				finish(rr.idx, rr.run, rr.days, nil)
+				done = append(done, rr.idx)
+			}
+		} else {
+			for _, ri := range plan.riders[i] {
+				frun, _, _ := runPrefixScenario(ctx, w, cfg, scfg, scens[ri], ri, homes, nil, nil, nil, pool)
+				finish(ri, frun, 0, nil)
+				done = append(done, ri)
+			}
+		}
+		return done
+	}
+
+	if parallel <= 1 || len(scens) <= 1 {
+		for i := range scens {
+			if plan.rider[i] {
+				continue // settled inside its host's run
+			}
+			execute(i)
+		}
+		return out, sweepErr(out)
+	}
+
+	// Parallel: ready queue over the fork tree. The channel holds every
+	// index at most once (each has one parent), so len(scens) capacity
+	// never blocks a producer; the final completion closes it.
+	ready := make(chan int, len(scens))
+	for i := range scens {
+		if !plan.rider[i] && (plan.parent[i] < 0 || plan.forkDay[i] <= 0) {
+			ready <- i
+		}
+	}
+	var (
+		fanOut    time.Time
+		completed int
+		compMu    sync.Mutex
+	)
+	if m != nil {
+		fanOut = time.Now()
+	}
+	complete := func(i int) {
+		for _, c := range plan.children[i] {
+			if plan.forkDay[c] > 0 {
+				ready <- c
+			}
+		}
+		compMu.Lock()
+		completed++
+		if completed == len(scens) {
+			close(ready)
+		}
+		compMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < parallel; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var runSh *obs.HistShard
+			if m != nil {
+				runSh = m.runNs.Shard(p)
+			}
+			for i := range ready {
+				var t0 time.Time
+				if m != nil {
+					t0 = time.Now()
+					m.queueNs.Observe(int64(t0.Sub(fanOut)))
+				}
+				done := execute(i)
+				if m != nil {
+					runSh.Observe(int64(time.Since(t0)))
+				}
+				// A host settles its riders too; every settled index
+				// counts toward completion (riders have no children).
+				for _, idx := range done {
+					complete(idx)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if m != nil {
+		m.builds.Set(WorldBuildCount())
+	}
+	return out, sweepErr(out)
+}

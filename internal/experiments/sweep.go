@@ -35,6 +35,15 @@ type SweepRun struct {
 	Results   *Results
 	Headlines []Headline
 	Err       error
+
+	// ForkedFrom and PrefixDays record copy-on-divergence provenance
+	// (SweepOptions.SharePrefix): when the run was forked from another
+	// scenario's checkpoint instead of simulating from day 0, ForkedFrom
+	// names that scenario and PrefixDays counts the shared study days it
+	// skipped. Zero values mean a standalone day-0 run. Provenance only
+	// — the results are bit-identical either way.
+	ForkedFrom string
+	PrefixDays int
 }
 
 // runScenario executes one sweep entry, converting every failure mode

@@ -19,6 +19,10 @@ type sweepMetrics struct {
 	runNs   *obs.Histogram // sweep.run_ns: per-run wall time, one shard per worker
 	queueNs *obs.Histogram // sweep.queue_wait_ns: how long each scenario queued behind the workers
 	builds  *obs.Gauge     // sweep.world_builds: process-wide World builds (should stay at 1 per sweep)
+
+	// Copy-on-divergence counters (SharePrefix sweeps only).
+	prefixSaved *obs.Counter // sweep.prefix_days_saved: study days skipped by forking checkpoints
+	forks       *obs.Counter // sweep.checkpoint_forks: runs started from a forked checkpoint
 }
 
 func newSweepMetrics(r *obs.Registry, parallel int) *sweepMetrics {
@@ -26,10 +30,12 @@ func newSweepMetrics(r *obs.Registry, parallel int) *sweepMetrics {
 		return nil
 	}
 	return &sweepMetrics{
-		runs:    r.Counter("sweep.runs"),
-		runNs:   r.Histogram("sweep.run_ns", parallel),
-		queueNs: r.Histogram("sweep.queue_wait_ns", 1),
-		builds:  r.Gauge("sweep.world_builds"),
+		runs:        r.Counter("sweep.runs"),
+		runNs:       r.Histogram("sweep.run_ns", parallel),
+		queueNs:     r.Histogram("sweep.queue_wait_ns", 1),
+		builds:      r.Gauge("sweep.world_builds"),
+		prefixSaved: r.Counter("sweep.prefix_days_saved"),
+		forks:       r.Counter("sweep.checkpoint_forks"),
 	}
 }
 
@@ -121,6 +127,14 @@ type SweepOptions struct {
 	// index in scens. cmd/mnosweep journals completed runs through this
 	// hook so an interrupted sweep can resume.
 	OnRun func(i int, run SweepRun)
+	// SharePrefix switches the sweep to the copy-on-divergence executor
+	// (runSweepShared): scenarios are grouped by divergence day
+	// (pandemic.Scenario.DivergenceFrom), each shared prefix is
+	// simulated once, checkpointed at the fork day and forked per
+	// scenario. Results are bit-identical to the unshared path; runs
+	// gain ForkedFrom/PrefixDays provenance. Multi-scenario sweeps only
+	// — a single scenario has no prefix to share.
+	SharePrefix bool
 }
 
 // RunSweepParallel is RunSweep executing the scenario stacks
@@ -181,6 +195,10 @@ func RunSweepParallelOpts(ctx context.Context, w *World, cfg Config, scfg stream
 		onRunMu.Lock()
 		defer onRunMu.Unlock()
 		opt.OnRun(i, run)
+	}
+
+	if opt.SharePrefix && len(scens) > 1 {
+		return runSweepShared(ctx, w, cfg, scfg, scens, opt, notify)
 	}
 
 	if parallel <= 1 || len(scens) <= 1 {

@@ -111,6 +111,16 @@ func (w *World) Instantiate(cfg Config) *Dataset {
 // bit-identity with NewEngine (see traffic.Engine.Rebind), so sweep
 // workers thread their engine through consecutive scenario runs.
 func (w *World) instantiate(cfg Config, reuse *traffic.Engine) *Dataset {
+	d := w.instantiateNoSim(cfg, reuse)
+	d.Sim = mobsim.New(w.Pop, d.Scenario, d.Config.Seed)
+	return d
+}
+
+// instantiateNoSim is instantiate without the mobility simulator, for
+// stacks that consume traces produced elsewhere: a sweep rider rides
+// its host's day loop and never simulates, so building the per-user
+// simulator state would be waste. The returned Dataset has Sim == nil.
+func (w *World) instantiateNoSim(cfg Config, reuse *traffic.Engine) *Dataset {
 	if cfg.TopN == 0 {
 		cfg.TopN = core.DefaultTopN
 	}
@@ -128,7 +138,6 @@ func (w *World) instantiate(cfg Config, reuse *traffic.Engine) *Dataset {
 		Topology: w.Topology,
 		Pop:      w.Pop,
 		Scenario: scen,
-		Sim:      mobsim.New(w.Pop, scen, cfg.Seed),
 	}
 	if !cfg.SkipKPI {
 		if reuse != nil {

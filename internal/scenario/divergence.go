@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"math"
+
+	"repro/internal/pandemic"
+)
+
+// DivergenceDay returns the first (possibly fractional) study day at
+// which this spec's simulated behaviour can differ from the null
+// scenario's — +Inf for the null spec itself. The contract is
+// conservative: the returned day is never later than the true
+// divergence, so all simulated days strictly before it are
+// bit-identical to a no-pandemic run (asserted by
+// TestDivergenceDayProperty over randomized specs).
+//
+// The day is the minimum over:
+//
+//   - each factor curve's departure from baseline: a curve that is
+//     empty or pinned at 1.0 everywhere never diverges; otherwise the
+//     curve leaves 1.0 after its last leading value-1 anchor (or at day
+//     0 when it clamps to a non-1 value before its first anchor);
+//   - pandemic.NullDivergenceDay(), the calendar-pinned week-11 weekend
+//     where any non-null scenario's weekend-trip pattern departs from
+//     the null baseline;
+//   - pandemic.RelocationDivergenceDay() when the relocation toggle is
+//     on;
+//   - pandemic.RelaxDivergenceDay() when regional relax bonuses are
+//     set.
+//
+// The case curve is excluded: it feeds figures and the SEIR comparison
+// only, never the mobility or traffic simulation (see
+// internal/pandemic/divergence.go). Note that the calendar-pinned
+// components do not move under Shifted — only the curve component
+// shifts with the spec's own timeline (Shifted's documented contract).
+func (sp Spec) DivergenceDay() float64 {
+	if sp.Null {
+		return math.Inf(1)
+	}
+	div := pandemic.NullDivergenceDay()
+	for _, c := range []Curve{sp.Activity, sp.Voice, sp.Data, sp.HomeCellular, sp.Throttle} {
+		div = math.Min(div, curveDivergence(c))
+	}
+	if sp.Relocation {
+		div = math.Min(div, pandemic.RelocationDivergenceDay())
+	}
+	if len(sp.RelaxBonus) > 0 {
+		div = math.Min(div, pandemic.RelaxDivergenceDay())
+	}
+	return div
+}
+
+// curveDivergence returns the first day the curve can differ from the
+// constant baseline 1.0: +Inf for an empty or all-baseline curve, 0 for
+// a curve that clamps to a non-baseline value before its first anchor,
+// else the day of the last leading value-1 anchor (interpolation moves
+// off baseline only after it).
+func curveDivergence(c Curve) float64 {
+	first := -1
+	for i, p := range c {
+		if p.Value != 1 {
+			first = i
+			break
+		}
+	}
+	switch {
+	case first < 0:
+		return math.Inf(1)
+	case first == 0:
+		return 0
+	default:
+		return c[first-1].Day
+	}
+}

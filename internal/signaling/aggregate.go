@@ -87,6 +87,17 @@ func (a *Aggregator) Merge(o *Aggregator) {
 	}
 }
 
+// Fork returns an independent deep copy of the aggregator: both copies
+// can consume further events (e.g. under different scenarios) without
+// sharing any mutable state. Fork-then-Merge composes with the existing
+// exact merge semantics: a.Fork() fed stream X and a.Fork() fed stream
+// Y, merged, equal a fed X then Y.
+func (a *Aggregator) Fork() *Aggregator {
+	f := NewAggregator(a.topo)
+	f.Merge(a)
+	return f
+}
+
 // DistinctUsers returns how many distinct SIMs appeared in the feed.
 func (a *Aggregator) DistinctUsers() int { return len(a.usersSeen) }
 

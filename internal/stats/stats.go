@@ -7,7 +7,6 @@ package stats
 import (
 	"errors"
 	"math"
-	"sort"
 )
 
 // ErrEmpty is returned by reductions over empty datasets.
@@ -62,11 +61,11 @@ func Percentile(xs []float64, p float64) (float64, error) {
 	}
 	cp := make([]float64, len(xs))
 	copy(cp, xs)
-	sort.Float64s(cp)
-	return percentileSorted(cp, p), nil
+	return percentileSelect(cp, p), nil
 }
 
-// percentileSorted assumes xs is sorted ascending and non-empty.
+// percentileSorted assumes xs is sorted ascending and non-empty; it is
+// the closed form percentileSelect reproduces without the sort.
 func percentileSorted(xs []float64, p float64) float64 {
 	if len(xs) == 1 {
 		return xs[0]
@@ -81,6 +80,94 @@ func percentileSorted(xs []float64, p float64) float64 {
 	return xs[lo]*(1-frac) + xs[hi]*frac
 }
 
+// fless is the ordering sort.Float64s used: ascending with NaN smaller
+// than everything. The selection below must reproduce it exactly so the
+// order statistics — and every percentile built from them — stay
+// bit-identical to the sort-based implementation they replaced.
+func fless(a, b float64) bool {
+	return a < b || (math.IsNaN(a) && !math.IsNaN(b))
+}
+
+// selectKth partially orders xs so that xs[k] holds the k-th order
+// statistic, everything before it is ≤ and everything after is ≥
+// (Hoare-style 3-way quickselect, median-of-three pivot, insertion sort
+// below a small cutoff). O(n) expected, allocation-free — the KPI fold
+// calls this per day per metric, where the full sort it replaced was
+// the single largest profile entry of a sweep.
+func selectKth(xs []float64, k int) {
+	lo, hi := 0, len(xs) // select within xs[lo:hi)
+	for hi-lo > 16 {
+		// Median-of-three pivot value.
+		a, b, c := xs[lo], xs[lo+(hi-lo)/2], xs[hi-1]
+		if fless(b, a) {
+			a, b = b, a
+		}
+		if fless(c, b) { // median of {a ≤ b, c} is max(a, c)
+			b = c
+			if fless(b, a) {
+				b = a
+			}
+		}
+		p := b
+		// 3-way partition: [lo,lt) < p, [lt,gt) == p, [gt,hi) > p.
+		lt, i, gt := lo, lo, hi
+		for i < gt {
+			switch {
+			case fless(xs[i], p):
+				xs[lt], xs[i] = xs[i], xs[lt]
+				lt++
+				i++
+			case fless(p, xs[i]):
+				gt--
+				xs[i], xs[gt] = xs[gt], xs[i]
+			default:
+				i++
+			}
+		}
+		switch {
+		case k < lt:
+			hi = lt
+		case k >= gt:
+			lo = gt
+		default:
+			return // xs[k] sits in the == band
+		}
+	}
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && fless(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// percentileSelect computes the interpolated percentile of cp in place
+// (cp is scratch, non-empty): the two closest-rank order statistics are
+// located by selection instead of a full sort, with results identical
+// to percentile-of-sorted.
+func percentileSelect(cp []float64, p float64) float64 {
+	if len(cp) == 1 {
+		return cp[0]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	selectKth(cp, lo)
+	x := cp[lo]
+	if lo == hi {
+		return x
+	}
+	// hi == lo+1, and after selectKth everything right of lo is ≥ the
+	// k-th statistic: the (lo+1)-th is the minimum of that suffix.
+	y := cp[lo+1]
+	for _, v := range cp[lo+2:] {
+		if fless(v, y) {
+			y = v
+		}
+	}
+	frac := rank - float64(lo)
+	return x*(1-frac) + y*frac
+}
+
 // Median returns the 50th percentile of xs, or 0 for an empty slice.
 func Median(xs []float64) float64 {
 	m, err := Percentile(xs, 50)
@@ -90,15 +177,16 @@ func Median(xs []float64) float64 {
 	return m
 }
 
-// Quantiles computes several percentiles of xs in one sort. It returns
-// ErrEmpty for an empty slice.
+// Quantiles computes several percentiles of xs over one scratch copy.
+// Each percentile is located by selection rather than a full sort; the
+// partial order earlier selections leave behind accelerates the later
+// ones. It returns ErrEmpty for an empty slice.
 func Quantiles(xs []float64, ps ...float64) ([]float64, error) {
 	if len(xs) == 0 {
 		return nil, ErrEmpty
 	}
 	cp := make([]float64, len(xs))
 	copy(cp, xs)
-	sort.Float64s(cp)
 	out := make([]float64, len(ps))
 	for i, p := range ps {
 		if p < 0 {
@@ -107,7 +195,7 @@ func Quantiles(xs []float64, ps ...float64) ([]float64, error) {
 		if p > 100 {
 			p = 100
 		}
-		out[i] = percentileSorted(cp, p)
+		out[i] = percentileSelect(cp, p)
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -232,5 +233,82 @@ func TestMinMaxArg(t *testing.T) {
 func TestClamp(t *testing.T) {
 	if Clamp(5, 0, 3) != 3 || Clamp(-2, 0, 3) != 0 || Clamp(1, 0, 3) != 1 {
 		t.Error("Clamp misbehaves")
+	}
+}
+
+// TestPercentileSelectMatchesSort pins the selection-based percentile
+// machinery to the sort-based definition it replaced: for adversarial
+// inputs (duplicates, constants, NaNs, already-sorted, reversed) and a
+// deterministic random sweep, every percentile must be bit-identical to
+// percentile-of-sorted (NaN treated as smaller than every number, as
+// sort.Float64s orders it).
+func TestPercentileSelectMatchesSort(t *testing.T) {
+	ref := func(xs []float64, p float64) float64 {
+		cp := make([]float64, len(xs))
+		copy(cp, xs)
+		sort.Float64s(cp)
+		if len(cp) == 1 {
+			return cp[0]
+		}
+		rank := p / 100 * float64(len(cp)-1)
+		lo := int(math.Floor(rank))
+		hi := int(math.Ceil(rank))
+		if lo == hi {
+			return cp[lo]
+		}
+		frac := rank - float64(lo)
+		return cp[lo]*(1-frac) + cp[hi]*frac
+	}
+	nan := math.NaN()
+	cases := [][]float64{
+		{1},
+		{2, 1},
+		{5, 5, 5, 5, 5, 5, 5, 5},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18},
+		{18, 17, 16, 15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+		{nan, 3, 1, nan, 2},
+		{nan, nan, nan},
+		{0, -0.0, 1e-300, -1e300, math.Inf(1), math.Inf(-1)},
+	}
+	// Deterministic LCG sweep: sizes crossing the insertion cutoff, heavy
+	// duplicate mass.
+	state := uint64(1)
+	next := func() uint64 { state = state*6364136223846793005 + 1442695040888963407; return state }
+	for size := 1; size <= 257; size += 16 {
+		xs := make([]float64, size)
+		for i := range xs {
+			xs[i] = float64(next()%23) / 7
+		}
+		cases = append(cases, xs)
+	}
+	ps := []float64{0, 3.7, 10, 25, 50, 74.9, 90, 99, 100}
+	for ci, xs := range cases {
+		orig := make([]float64, len(xs))
+		copy(orig, xs)
+		got, err := Quantiles(xs, ps...)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		for pi, p := range ps {
+			want := ref(orig, p)
+			same := got[pi] == want || (math.IsNaN(got[pi]) && math.IsNaN(want))
+			if !same {
+				t.Errorf("case %d p=%v: Quantiles = %v, want %v", ci, p, got[pi], want)
+			}
+			one, err := Percentile(orig, p)
+			if err != nil {
+				t.Fatalf("case %d: %v", ci, err)
+			}
+			same = one == want || (math.IsNaN(one) && math.IsNaN(want))
+			if !same {
+				t.Errorf("case %d p=%v: Percentile = %v, want %v", ci, p, one, want)
+			}
+		}
+		for i := range xs {
+			same := xs[i] == orig[i] || (math.IsNaN(xs[i]) && math.IsNaN(orig[i]))
+			if !same {
+				t.Fatalf("case %d: input mutated at %d", ci, i)
+			}
+		}
 	}
 }

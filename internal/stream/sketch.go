@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/timegrid"
@@ -105,6 +106,36 @@ func (q *QSketch) Quantile(p float64) float64 {
 
 // Median is Quantile(0.5).
 func (q *QSketch) Median() float64 { return q.Quantile(0.5) }
+
+// Fork returns an independent copy of the sketch: both copies can keep
+// Adding without sharing state, and (bins being pure counts) merging a
+// fork back is exact.
+func (q *QSketch) Fork() *QSketch {
+	return &QSketch{bins: append([]int64(nil), q.bins...), under: q.under, count: q.count}
+}
+
+// QSketchState is the serializable form of a sketch. Bins length is
+// bound to the package's compiled resolution (sketchBins); a snapshot
+// taken with different constants is rejected on restore.
+type QSketchState struct {
+	Bins  []int64 `json:"bins"`
+	Under int64   `json:"under"`
+	Count int64   `json:"count"`
+}
+
+// State snapshots the sketch (deep copy) for serialization.
+func (q *QSketch) State() QSketchState {
+	return QSketchState{Bins: append([]int64(nil), q.bins...), Under: q.under, Count: q.count}
+}
+
+// QSketchFromState reconstructs a sketch from a snapshot; future Adds
+// and Quantiles behave exactly as on the original.
+func QSketchFromState(st QSketchState) (*QSketch, error) {
+	if len(st.Bins) != sketchBins {
+		return nil, fmt.Errorf("stream: sketch snapshot has %d bins, this build uses %d", len(st.Bins), sketchBins)
+	}
+	return &QSketch{bins: append([]int64(nil), st.Bins...), under: st.Under, count: st.Count}, nil
+}
 
 // --- sharded KPI medians ------------------------------------------------
 

@@ -13,9 +13,10 @@
 #
 # The default set covers the per-day hot path (simulation, KPI engine —
 # the EngineDay pattern includes the serial Day/DayAppend benchmarks and
-# the intra-day EngineDayAppendSharded2/4 ones, §2.3 metrics) and the
-# end-to-end serial/streaming pipelines. Compare snapshots with
-# scripts/benchdiff.sh.
+# the intra-day EngineDayAppendSharded2/4 ones, §2.3 metrics), the
+# end-to-end serial/streaming pipelines, and the registry sweep with
+# copy-on-divergence on/off (SweepSharedPrefix vs SweepUnsharedRegistry).
+# Compare snapshots with scripts/benchdiff.sh.
 #
 # Snapshots are named BENCH_<sha>.json after the commit they measure, so
 # the script refuses to run on a dirty tree: numbers measured on
@@ -41,7 +42,7 @@ if [ "$sha" != nogit ] && [ -n "$(git status --porcelain 2>/dev/null)" ]; then
   sha="${sha}-dirty"
 fi
 benchtime="${BENCHTIME:-1x}"
-pattern="${BENCH:-SimDayInto|SimulateDay|EngineDay|DayMetrics|MergeVisits|RunStandardSerial|StreamWorkers1\$|SweepSerial|SweepParallel}"
+pattern="${BENCH:-SimDayInto|SimulateDay|EngineDay|DayMetrics|MergeVisits|RunStandardSerial|StreamWorkers1\$|SweepSerial|SweepParallel|SweepSharedPrefix|SweepUnsharedRegistry}"
 
 # Runner metadata: numbers are only comparable between snapshots taken on
 # similar hardware, so record what ran them. benchdiff warns when the two
