@@ -8,8 +8,9 @@
 package repro_test
 
 import (
-	"context"
 	"bytes"
+	"context"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -498,7 +499,7 @@ func itoa(v int) string {
 
 // BenchmarkRunStandardSerial is the serial end-to-end baseline the
 // streaming benchmarks compare against: the full two-pass pipeline at
-// the default 8k-user scale.
+// the default popsim.ScaleSmall scale.
 func BenchmarkRunStandardSerial(b *testing.B) {
 	cfg := experiments.DefaultConfig()
 	b.ReportAllocs()
@@ -627,7 +628,7 @@ func BenchmarkSweepParallel(b *testing.B)  { benchmarkSweepParallel(b, 2) }
 func BenchmarkSweepParallel4(b *testing.B) { benchmarkSweepParallel(b, 4) }
 
 // sweepAllFixture builds the full 7-scenario registry set over its own
-// world at the default 8k-user scale (the scale BenchmarkRunStandardSerial
+// world at the default popsim.ScaleSmall scale (the scale BenchmarkRunStandardSerial
 // and the streaming benchmarks quote) — the copy-on-divergence headline
 // pair runs here rather than on the small sweepBenchFixture world. At
 // 1000 users the per-cell engine reduction and KPI fold, which do not
@@ -692,6 +693,60 @@ func BenchmarkQSketch(b *testing.B) {
 	}
 	if q.Median() <= 0 {
 		b.Fatal("bad median")
+	}
+}
+
+// --- scale ladder ------------------------------------------------------------
+
+// benchmarkScaleLadderRung builds a full stack (census, topology,
+// population, simulator, KPI engine) at the given rung and measures the
+// warm per-day hot path: one DayInto into a reused arena plus one
+// DayAppend into a reused cell slice — the unit the 77-day study window
+// multiplies. The rung's retained footprint is reported as a bytes/user
+// metric from a ReadMemStats delta around the stack build (see
+// PERFORMANCE.md, "Scale ladder"); TestBytesPerUserBudget enforces the
+// documented per-user budget.
+func benchmarkScaleLadderRung(b *testing.B, users int) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = users
+	d := experiments.NewDataset(cfg)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	if delta < 0 {
+		delta = 0
+	}
+
+	buf := mobsim.NewDayBuffer()
+	day0 := timegrid.SimDay(timegrid.StudyDayOffset)
+	var cells []traffic.CellDay
+	cells = d.Engine.DayAppend(cells, day0, d.Sim.DayInto(buf, day0)) // warm the arenas
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		day := timegrid.SimDay(timegrid.StudyDayOffset + i%timegrid.StudyDays)
+		cells = d.Engine.DayAppend(cells[:0], day, d.Sim.DayInto(buf, day))
+	}
+	if len(cells) == 0 {
+		b.Fatal("no cells")
+	}
+	// Reported after the loop: ResetTimer discards metrics set before it.
+	b.ReportMetric(float64(delta)/float64(users), "bytes/user")
+}
+
+// BenchmarkScaleLadder walks the memory-diet scale ladder. The small
+// rung is the default test/figure scale, the medium rung is the CI
+// streaming smoke scale, and the large rung is the paper's full-MNO
+// order of magnitude — it documents that a simulated day at a million
+// subscribers completes in seconds on stock hardware.
+func BenchmarkScaleLadder(b *testing.B) {
+	for _, users := range []int{popsim.ScaleSmall, popsim.ScaleMedium, popsim.ScaleLarge} {
+		b.Run(benchName("users", users), func(b *testing.B) {
+			benchmarkScaleLadderRung(b, users)
+		})
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/feeds"
+	"repro/internal/popsim"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/timegrid"
@@ -29,7 +30,7 @@ import (
 func main() {
 	var (
 		tracesPath = flag.String("traces", "", "trace feed CSV (from mnosim -raw)")
-		users      = flag.Int("users", 8000, "user count of the original run")
+		users      = flag.Int("users", popsim.ScaleSmall, "user count of the original run")
 		seed       = flag.Uint64("seed", 42, "seed of the original run")
 		lenient    = flag.Bool("lenient", false, "skip corrupt feed rows (reported on stderr) instead of failing the replay")
 	)

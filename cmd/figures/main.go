@@ -17,13 +17,14 @@ import (
 
 	"repro/cmd/internal/cli"
 	"repro/internal/experiments"
+	"repro/internal/popsim"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
 		fig    = flag.String("fig", "all", "figure to regenerate (all, table1, fig2 … fig12)")
-		users  = flag.Int("users", 8000, "synthetic native smartphone users")
+		users  = flag.Int("users", popsim.ScaleSmall, "synthetic native smartphone users")
 		seed   = flag.Uint64("seed", 42, "master random seed")
 		checks = flag.Bool("checks", true, "print shape checks against the paper")
 		quiet  = flag.Bool("quiet", false, "suppress data tables, print checks only")

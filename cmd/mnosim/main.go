@@ -36,6 +36,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/feeds"
 	"repro/internal/mobsim"
+	"repro/internal/popsim"
 	"repro/internal/prof"
 	"repro/internal/scenario"
 	"repro/internal/signaling"
@@ -47,7 +48,7 @@ import (
 func main() {
 	var (
 		out   = flag.String("out", "data", "output directory")
-		users = flag.Int("users", 8000, "synthetic native smartphone users")
+		users = flag.Int("users", popsim.ScaleSmall, "synthetic native smartphone users")
 		seed  = flag.Uint64("seed", 42, "master random seed")
 		scen  = flag.String("scenario", "", "behavioural scenario: registry name or JSON spec file (empty: the calibrated default)")
 		raw   = flag.Bool("raw", false, "also export raw per-visit traces and a sample signalling feed (large)")

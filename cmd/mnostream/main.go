@@ -67,6 +67,7 @@ import (
 	"repro/internal/feeds"
 	"repro/internal/mobsim"
 	"repro/internal/obs"
+	"repro/internal/popsim"
 	"repro/internal/scenario"
 	"repro/internal/signaling"
 	"repro/internal/stream"
@@ -78,7 +79,7 @@ func main() {
 	var (
 		feedDir   = flag.String("feeds", "", "feed directory to replay (empty: run the simulator inline)")
 		lenient   = flag.Bool("lenient", false, "skip corrupt feed rows (reported on stderr) instead of failing the replay")
-		users     = flag.Int("users", 8000, "synthetic native smartphone users (must match the feed's value in -feeds mode)")
+		users     = flag.Int("users", popsim.ScaleSmall, "synthetic native smartphone users (must match the feed's value in -feeds mode)")
 		seed      = flag.Uint64("seed", 42, "master random seed (must match the feed's value in -feeds mode)")
 		scen      = flag.String("scenario", "", "behavioural scenario for inline mode: registry name or JSON spec file (empty: the calibrated default)")
 		workers   = flag.Int("workers", 0, "worker goroutines (0: GOMAXPROCS)")

@@ -75,19 +75,20 @@ func (h *HomeDetector) ConsumeTrace(day timegrid.SimDay, t *mobsim.DayTrace) {
 	// per-user sums stay bit-identical) in the reused scratch.
 	night := h.night[:0]
 	for _, v := range t.Visits {
-		if !h.isNight(v.Bin) {
+		if !h.isNight(v.Bin()) {
 			continue
 		}
+		tw, sec := v.Tower(), float64(v.Seconds())
 		found := false
 		for i := range night {
-			if night[i].tower == v.Tower {
-				night[i].sec += float64(v.Seconds)
+			if night[i].tower == tw {
+				night[i].sec += sec
 				found = true
 				break
 			}
 		}
 		if !found {
-			night = append(night, towerDwell{tower: v.Tower, sec: float64(v.Seconds)})
+			night = append(night, towerDwell{tower: tw, sec: sec})
 		}
 	}
 	h.night = night

@@ -37,16 +37,17 @@ type VisitMerger struct {
 func (m *VisitMerger) Merge(t *mobsim.DayTrace, topo *radio.Topology) []VisitSample {
 	dst := m.samples[:0]
 	for _, v := range t.Visits {
+		tw, sec := v.Tower(), float64(v.Seconds())
 		found := false
 		for i := range dst {
-			if dst[i].Tower == v.Tower {
-				dst[i].Seconds += float64(v.Seconds)
+			if dst[i].Tower == tw {
+				dst[i].Seconds += sec
 				found = true
 				break
 			}
 		}
 		if !found {
-			dst = append(dst, VisitSample{Tower: v.Tower, Loc: topo.Tower(v.Tower).Loc, Seconds: float64(v.Seconds)})
+			dst = append(dst, VisitSample{Tower: tw, Loc: topo.Tower(tw).Loc, Seconds: sec})
 		}
 	}
 	sortSamples(dst)
@@ -58,19 +59,20 @@ func (m *VisitMerger) Merge(t *mobsim.DayTrace, topo *radio.Topology) []VisitSam
 func (m *VisitMerger) mergeBin(t *mobsim.DayTrace, topo *radio.Topology, bin int) []VisitSample {
 	dst := m.samples[:0]
 	for _, v := range t.Visits {
-		if int(v.Bin) != bin {
+		if int(v.Bin()) != bin {
 			continue
 		}
+		tw, sec := v.Tower(), float64(v.Seconds())
 		found := false
 		for i := range dst {
-			if dst[i].Tower == v.Tower {
-				dst[i].Seconds += float64(v.Seconds)
+			if dst[i].Tower == tw {
+				dst[i].Seconds += sec
 				found = true
 				break
 			}
 		}
 		if !found {
-			dst = append(dst, VisitSample{Tower: v.Tower, Loc: topo.Tower(v.Tower).Loc, Seconds: float64(v.Seconds)})
+			dst = append(dst, VisitSample{Tower: tw, Loc: topo.Tower(tw).Loc, Seconds: sec})
 		}
 	}
 	sortSamples(dst)

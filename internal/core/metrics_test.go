@@ -148,8 +148,8 @@ func TestBinMetricsSelectsBin(t *testing.T) {
 	topo := r.Dataset.Topology
 	tw0, tw1 := radio.TowerID(0), radio.TowerID(1)
 	tr := fakeTrace(0,
-		mobsim.Visit{Tower: tw0, Bin: 0, Seconds: 14_400},
-		mobsim.Visit{Tower: tw1, Bin: 2, Seconds: 14_400},
+		mobsim.MakeVisit(tw0, 0, 14_400, false),
+		mobsim.MakeVisit(tw1, 2, 14_400, false),
 	)
 	m0 := BinMetrics(&tr, topo, 0, 20)
 	if m0.Towers != 1 || m0.Entropy != 0 {
@@ -181,7 +181,7 @@ func TestMergeVisitsProperties(t *testing.T) {
 			merged += s.Seconds
 		}
 		for _, v := range tr.Visits {
-			raw += float64(v.Seconds)
+			raw += float64(v.Seconds())
 		}
 		if merged != raw {
 			t.Fatalf("user %d: merged %v vs raw %v", tr.User, merged, raw)

@@ -37,7 +37,7 @@ type Config struct {
 
 // DefaultConfig is the scale used by tests and the figure harness.
 func DefaultConfig() Config {
-	return Config{Seed: 42, TargetUsers: 8000, PopPerTower: 40_000, TopN: core.DefaultTopN}
+	return Config{Seed: 42, TargetUsers: popsim.ScaleSmall, PopPerTower: 40_000, TopN: core.DefaultTopN}
 }
 
 // Dataset is a fully constructed simulation stack: a shared,

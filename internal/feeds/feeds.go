@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"repro/internal/devices"
@@ -100,10 +101,10 @@ func (t *TraceWriter) WriteDay(day timegrid.SimDay, traces []mobsim.DayTrace) er
 			rec := []string{
 				dayStr,
 				userStr,
-				strconv.Itoa(int(v.Tower)),
-				strconv.Itoa(int(v.Bin)),
-				strconv.Itoa(int(v.Seconds)),
-				boolStr(v.AtResidence),
+				strconv.Itoa(int(v.Tower())),
+				strconv.Itoa(int(v.Bin())),
+				strconv.Itoa(int(v.Seconds())),
+				boolStr(v.AtResidence()),
 			}
 			if err := t.w.Write(rec); err != nil {
 				return err
@@ -275,12 +276,16 @@ func parseTraceRow(rec []string) (timegrid.SimDay, mobsim.Visit, popsim.UserID, 
 	if bin < 0 || bin >= timegrid.BinsPerDay {
 		return 0, mobsim.Visit{}, 0, fmt.Errorf("bad trace field bin=%q: out of range [0,%d)", rec[3], timegrid.BinsPerDay)
 	}
-	v := mobsim.Visit{
-		Tower:       radio.TowerID(tower),
-		Bin:         timegrid.Bin(bin),
-		Seconds:     int32(sec),
-		AtResidence: atRes,
+	// Range-check the packed Visit fields here so a corrupt row surfaces
+	// as a row error (skippable in lenient mode) rather than a panic in
+	// mobsim.MakeVisit.
+	if tower < 0 || int64(tower) > int64(math.MaxInt32) {
+		return 0, mobsim.Visit{}, 0, fmt.Errorf("bad trace field tower=%q: out of range [0,%d]", rec[2], math.MaxInt32)
 	}
+	if sec < 0 || sec > mobsim.MaxVisitSeconds {
+		return 0, mobsim.Visit{}, 0, fmt.Errorf("bad trace field seconds=%q: out of range [0,%d]", rec[4], mobsim.MaxVisitSeconds)
+	}
+	v := mobsim.MakeVisit(radio.TowerID(tower), timegrid.Bin(bin), int32(sec), atRes)
 	return timegrid.SimDay(day), v, popsim.UserID(user), nil
 }
 

@@ -26,8 +26,8 @@ func writeFeedDir(t *testing.T, dir string) {
 	tw := NewTraceWriter(tf)
 	for day := timegrid.SimDay(0); day < 3; day++ {
 		traces := []mobsim.DayTrace{
-			{User: 1, Visits: []mobsim.Visit{{Tower: 2, Bin: 1, Seconds: 600, AtResidence: true}}},
-			{User: 7, Visits: []mobsim.Visit{{Tower: 3, Bin: 2, Seconds: 1200}}},
+			{User: 1, Visits: []mobsim.Visit{mobsim.MakeVisit(2, 1, 600, true)}},
+			{User: 7, Visits: []mobsim.Visit{mobsim.MakeVisit(3, 2, 1200, false)}},
 		}
 		if err := tw.WriteDay(day, traces); err != nil {
 			t.Fatal(err)

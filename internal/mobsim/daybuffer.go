@@ -22,10 +22,10 @@ import (
 // past that point must copy them.
 type DayBuffer struct {
 	day    timegrid.SimDay
-	visits []Visit          // the arena
-	users  []popsim.UserID  // one entry per trace, in append order
-	starts []int            // visits offset where each trace begins
-	traces []DayTrace       // materialized views into the arena
+	visits []Visit         // the arena
+	users  []popsim.UserID // one entry per trace, in append order
+	starts []int           // visits offset where each trace begins
+	traces []DayTrace      // materialized views into the arena
 
 	// b is the per-agent simulation scratch (bin staging, weight
 	// buffers), reused across agents and days.

@@ -19,18 +19,6 @@ import (
 	"repro/internal/timegrid"
 )
 
-// Visit is one dwell interval: the agent spent Seconds attached to Tower
-// during the given 4-hour bin of the day.
-type Visit struct {
-	Tower   radio.TowerID
-	Bin     timegrid.Bin
-	Seconds int32
-	// AtResidence marks dwell at the agent's current residence (primary
-	// home, or the relocation home while relocated); the traffic engine
-	// applies WiFi offload only there.
-	AtResidence bool
-}
-
 // DayTrace is the full set of visits of one agent over one day. Visits
 // are ordered by bin; total seconds sum to 86,400.
 type DayTrace struct {
@@ -48,6 +36,11 @@ type Simulator struct {
 	topo  *radio.Topology
 	model *census.Model
 	seed  uint64
+
+	// cols is the population's struct-of-arrays mirror: the per-agent
+	// prologue runs once per agent per day, so it reads the dense
+	// columns instead of dereferencing fat User structs.
+	cols *popsim.Columns
 
 	// homeAlt caches a per-user alternate tower near home, modelling the
 	// cell-reselection churn phones exhibit while stationary.
@@ -67,14 +60,14 @@ func New(pop *popsim.Population, scen *pandemic.Scenario, seed uint64) *Simulato
 		topo:  pop.Topology(),
 		model: pop.Model(),
 		seed:  rng.Hash64(seed ^ 0x5151),
+		cols:  pop.Cols(),
 	}
 	// The alternate home tower is the best reselection neighbour at the
 	// home site (radio propagation model), which is what an idle phone
 	// actually bounces to.
 	s.homeAlt = make([]radio.TowerID, len(pop.Users))
-	for i := range pop.Users {
-		u := &pop.Users[i]
-		s.homeAlt[i] = s.topo.ReselectionNeighbor(s.topo.Tower(u.HomeTower).Loc, u.HomeTower)
+	for i, ht := range s.cols.HomeTower {
+		s.homeAlt[i] = s.topo.ReselectionNeighbor(s.topo.Tower(ht).Loc, ht)
 	}
 	s.awayNames, s.awayWeights = pandemic.RelocationDestinations()
 	return s
@@ -123,28 +116,28 @@ func (s *Simulator) UserDay(id popsim.UserID, day timegrid.SimDay) DayTrace {
 // buildUserDay simulates one agent-day into the builder scratch; the
 // visits stay staged per bin until flushTo (or UserDay) flattens them.
 func (s *Simulator) buildUserDay(b *dayBuilder, id popsim.UserID, day timegrid.SimDay) {
-	u := s.pop.User(id)
+	cols := s.cols
 	src := rng.Stream2(s.seed, uint64(id), uint64(day))
 
-	b.reset(u, day, s)
+	b.reset(id, day, s)
 	// Phones switched off overnight leave no night observations; the
 	// decision is drawn first so the rest of the day's stream is stable.
-	b.nightOff = src.Bool(u.NightOff)
+	b.nightOff = src.Bool(cols.NightOff[id])
 
 	// Relocation candidates live at their secondary residence for the
 	// whole lockdown window (§3.4) — but only under scenarios whose
 	// relocation toggle is on; RelocationActive is always false
 	// otherwise, keeping candidates at home.
-	if u.Relocates && s.scen.RelocationActive(day) {
-		b.residenceTower = u.RelocTower
-		b.residenceDistrict = u.RelocDistrict
+	if cols.Relocates[id] && s.scen.RelocationActive(day) {
+		b.residenceTower = cols.RelocTower[id]
+		b.residenceDistrict = cols.RelocDistrict[id]
 		b.localDay(&src, 0.5) // quiet, mostly-home day at the destination
 		return
 	}
 
 	// Weekend away-days (day trips / weekends in other counties).
 	sd, inStudy := day.ToStudyDay()
-	homeCounty := s.model.County(u.HomeCounty)
+	homeCounty := s.model.County(cols.HomeCounty[id])
 	if day.IsWeekend() {
 		p := 0.0
 		if inStudy {
@@ -167,10 +160,19 @@ func (s *Simulator) buildUserDay(b *dayBuilder, id popsim.UserID, day timegrid.S
 // no allocation.
 type dayBuilder struct {
 	s    *Simulator
-	u    *popsim.User
+	id   popsim.UserID
 	day  timegrid.SimDay
 	bins [timegrid.BinsPerDay][]Visit
 	used [timegrid.BinsPerDay]int32
+
+	// u is the agent's full User record, resolved lazily by user():
+	// quiet day shapes (relocation, away-day) never touch it, only the
+	// anchor-driven paths pay for the wide struct access.
+	u *popsim.User
+
+	// homeTower mirrors cols.HomeTower[id] so fillResidence's inner loop
+	// stays column-fed.
+	homeTower radio.TowerID
 
 	residenceTower    radio.TowerID
 	residenceDistrict census.DistrictID
@@ -184,15 +186,27 @@ type dayBuilder struct {
 }
 
 // reset re-arms the builder for a new agent-day, keeping all capacity.
-func (b *dayBuilder) reset(u *popsim.User, day timegrid.SimDay, s *Simulator) {
-	b.s, b.u, b.day = s, u, day
+// Home geography comes from the population's dense columns.
+func (b *dayBuilder) reset(id popsim.UserID, day timegrid.SimDay, s *Simulator) {
+	b.s, b.id, b.day = s, id, day
+	b.u = nil
 	for i := range b.bins {
 		b.bins[i] = b.bins[i][:0]
 	}
 	b.used = [timegrid.BinsPerDay]int32{}
-	b.residenceTower = u.HomeTower
-	b.residenceDistrict = u.HomeDistrict
+	cols := s.cols
+	b.homeTower = cols.HomeTower[id]
+	b.residenceTower = b.homeTower
+	b.residenceDistrict = cols.HomeDistrict[id]
 	b.nightOff = false
+}
+
+// user resolves the agent's full record on first use.
+func (b *dayBuilder) user() *popsim.User {
+	if b.u == nil {
+		b.u = b.s.pop.User(b.id)
+	}
+	return b.u
 }
 
 // add records dwell seconds at tower in bin, clipping to the bin budget.
@@ -205,20 +219,20 @@ func (b *dayBuilder) add(bin timegrid.Bin, tower radio.TowerID, seconds int32, a
 		return
 	}
 	b.used[bin] += seconds
-	b.bins[bin] = append(b.bins[bin], Visit{Tower: tower, Bin: bin, Seconds: seconds, AtResidence: atRes})
+	b.bins[bin] = append(b.bins[bin], MakeVisit(tower, bin, seconds, atRes))
 }
 
 // fillResidence tops every bin up to its 4-hour budget with dwell at the
 // current residence, with occasional reselection onto the alternate home
 // tower (idle phones bounce between overlapping cells).
 func (b *dayBuilder) fillResidence(src *rng.Source) {
-	alt := b.s.homeAlt[b.u.ID]
+	alt := b.s.homeAlt[b.id]
 	for bin := timegrid.Bin(0); int(bin) < timegrid.BinsPerDay; bin++ {
 		free := int32(secondsPerBin) - b.used[bin]
 		if free <= 0 {
 			continue
 		}
-		if alt != b.residenceTower && b.residenceTower == b.u.HomeTower && src.Bool(0.25) {
+		if alt != b.residenceTower && b.residenceTower == b.homeTower && src.Bool(0.25) {
 			churn := int32(float64(free) * src.Range(0.1, 0.3))
 			b.add(bin, alt, churn, false)
 			free -= churn
@@ -260,7 +274,7 @@ func (b *dayBuilder) activity(sd timegrid.StudyDay, inStudy bool) float64 {
 	if !inStudy {
 		return 1
 	}
-	return b.s.scen.RegionalActivity(sd, b.s.model.County(b.u.HomeCounty))
+	return b.s.scen.RegionalActivity(sd, b.s.model.County(b.s.cols.HomeCounty[b.id]))
 }
 
 // baseLeisureTrips returns the expected discretionary trips per day for
@@ -305,8 +319,7 @@ func leisureFloor(c census.Cluster) float64 {
 // workAttendance returns the probability the agent travels to the work
 // anchor on this day.
 func (b *dayBuilder) workAttendance(a float64, sd timegrid.StudyDay, inStudy, weekend bool) float64 {
-	u := b.u
-	switch u.Profile {
+	switch b.s.cols.Profile[b.id] {
 	case popsim.OfficeWorker:
 		if weekend {
 			return 0.06 * a
@@ -335,7 +348,7 @@ func (b *dayBuilder) workAttendance(a float64, sd timegrid.StudyDay, inStudy, we
 
 // normalDay builds a regular day at the primary residence.
 func (b *dayBuilder) normalDay(src *rng.Source, sd timegrid.StudyDay, inStudy bool) {
-	u := b.u
+	u := b.user()
 	weekend := b.day.IsWeekend()
 	a := b.activity(sd, inStudy)
 
@@ -399,7 +412,7 @@ func (b *dayBuilder) leisureTrip(src *rng.Source, a float64, inStudy bool) {
 // source of entropy beyond the anchor set). Under low activity the
 // exploration range contracts to the home district.
 func (b *dayBuilder) leisureTripInBin(src *rng.Source, bin timegrid.Bin, a float64, inStudy bool) {
-	u := b.u
+	u := b.user()
 	var tower radio.TowerID
 	explore := src.Bool(0.18)
 	if explore || len(u.Anchors) <= 1 {
@@ -447,7 +460,7 @@ func (b *dayBuilder) leisureTripInBin(src *rng.Source, bin timegrid.Bin, a float
 // countryside within a plausible day-trip range.
 func (b *dayBuilder) awayDay(src *rng.Source, sd timegrid.StudyDay, inStudy bool) {
 	county := b.pickAwayCounty(src, sd, inStudy)
-	if county == nil || county.ID == b.u.HomeCounty {
+	if county == nil || county.ID == b.s.cols.HomeCounty[b.id] {
 		b.normalDay(src, sd, inStudy)
 		return
 	}
@@ -469,7 +482,8 @@ func (b *dayBuilder) awayDay(src *rng.Source, sd timegrid.StudyDay, inStudy bool
 // pickAwayCounty chooses the weekend-trip destination.
 func (b *dayBuilder) pickAwayCounty(src *rng.Source, sd timegrid.StudyDay, inStudy bool) *census.County {
 	model := b.s.model
-	homeKind := model.County(b.u.HomeCounty).Kind
+	homeCounty := b.s.cols.HomeCounty[b.id]
+	homeKind := model.County(homeCounty).Kind
 	if homeKind == census.KindMetroCore || homeKind == census.KindMetroSuburb {
 		names, base := b.s.awayNames, b.s.awayWeights
 		w := b.weights[:0]
@@ -489,12 +503,12 @@ func (b *dayBuilder) pickAwayCounty(src *rng.Source, sd timegrid.StudyDay, inStu
 	}
 	// Elsewhere: countryside within day-trip range, nearer is likelier.
 	const tripKm = 90.0
-	homeLoc := model.County(b.u.HomeCounty).Area.Center
+	homeLoc := model.County(homeCounty).Area.Center
 	cands := b.counties[:0]
 	weights := b.weights[:0]
 	for ci := range model.Counties {
 		c := &model.Counties[ci]
-		if c.ID == b.u.HomeCounty {
+		if c.ID == homeCounty {
 			continue
 		}
 		if c.Kind != census.KindRural && c.Kind != census.KindMixed && c.Kind != census.KindCoastal {

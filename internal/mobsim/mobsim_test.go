@@ -34,7 +34,7 @@ func fixture(t *testing.T) *Simulator {
 func totalSeconds(tr *DayTrace) int64 {
 	var s int64
 	for _, v := range tr.Visits {
-		s += int64(v.Seconds)
+		s += int64(v.Seconds())
 	}
 	return s
 }
@@ -57,13 +57,13 @@ func TestDayTraceConservation(t *testing.T) {
 			}
 			var perBin [timegrid.BinsPerDay]int64
 			for _, v := range tr.Visits {
-				if v.Bin < 0 || int(v.Bin) >= timegrid.BinsPerDay {
-					t.Fatalf("visit bin %d out of range", v.Bin)
+				if v.Bin() < 0 || int(v.Bin()) >= timegrid.BinsPerDay {
+					t.Fatalf("visit bin %d out of range", v.Bin())
 				}
-				if v.Seconds <= 0 {
-					t.Fatalf("non-positive visit seconds %d", v.Seconds)
+				if v.Seconds() <= 0 {
+					t.Fatalf("non-positive visit seconds %d", v.Seconds())
 				}
-				perBin[v.Bin] += int64(v.Seconds)
+				perBin[v.Bin()] += int64(v.Seconds())
 			}
 			nightOff := got != 86_400
 			if nightOff {
@@ -93,10 +93,10 @@ func TestVisitsOrderedByBin(t *testing.T) {
 	for i := range traces {
 		prev := timegrid.Bin(0)
 		for _, v := range traces[i].Visits {
-			if v.Bin < prev {
+			if v.Bin() < prev {
 				t.Fatalf("visits out of bin order for user %d", traces[i].User)
 			}
-			prev = v.Bin
+			prev = v.Bin()
 		}
 	}
 }
@@ -137,10 +137,10 @@ func TestNightAtResidence(t *testing.T) {
 		u := pop.User(tr.User)
 		var nightHome, night int64
 		for _, v := range tr.Visits {
-			if v.Bin == 0 {
-				night += int64(v.Seconds)
-				if v.Tower == u.HomeTower && v.AtResidence {
-					nightHome += int64(v.Seconds)
+			if v.Bin() == 0 {
+				night += int64(v.Seconds())
+				if v.Tower() == u.HomeTower && v.AtResidence() {
+					nightHome += int64(v.Seconds())
 				}
 			}
 		}
@@ -165,7 +165,7 @@ func TestLockdownReducesMobility(t *testing.T) {
 		for i := range traces {
 			seen := map[radio.TowerID]bool{}
 			for _, v := range traces[i].Visits {
-				seen[v.Tower] = true
+				seen[v.Tower()] = true
 			}
 			sum += len(seen)
 		}
@@ -197,7 +197,7 @@ func TestRelocatedUsersAreAway(t *testing.T) {
 		checked++
 		tr := byUser[id]
 		for _, v := range tr.Visits {
-			county := pop.Topology().Tower(v.Tower).County
+			county := pop.Topology().Tower(v.Tower()).County
 			if county != u.RelocCounty {
 				t.Fatalf("relocated user %d seen in county %d, expected %d", id, county, u.RelocCounty)
 			}
@@ -221,8 +221,8 @@ func TestRelocatedUsersHomeBeforeLockdown(t *testing.T) {
 		}
 		// Night dwell must still be at the primary home in February.
 		for _, v := range tr.Visits {
-			if v.Bin == 0 && v.AtResidence {
-				if pop.Topology().Tower(v.Tower).District != u.HomeDistrict {
+			if v.Bin() == 0 && v.AtResidence() {
+				if pop.Topology().Tower(v.Tower()).District != u.HomeDistrict {
 					t.Fatalf("relocated-to-be user %d not at primary home in February", tr.User)
 				}
 			}
@@ -255,7 +255,7 @@ func TestRelocationCandidatesStayHomeWhenToggleOff(t *testing.T) {
 		}
 		checked++
 		for _, v := range tr.Visits {
-			if v.AtResidence && pop.Topology().Tower(v.Tower).District != u.HomeDistrict {
+			if v.AtResidence() && pop.Topology().Tower(v.Tower()).District != u.HomeDistrict {
 				t.Fatalf("candidate %d relocated under a relocation-off scenario", tr.User)
 			}
 		}
@@ -279,7 +279,7 @@ func TestWorkAttendanceCollapses(t *testing.T) {
 			workers++
 			workTower := u.Anchors[1].Tower
 			for _, v := range traces[i].Visits {
-				if v.Bin == 2 && v.Tower == workTower && v.Seconds > 10_000 {
+				if v.Bin() == 2 && v.Tower() == workTower && v.Seconds() > 10_000 {
 					working++
 					break
 				}
@@ -309,7 +309,7 @@ func TestStudentsStopAfterSchoolsClose(t *testing.T) {
 				continue
 			}
 			for _, v := range traces[i].Visits {
-				if v.Bin == 2 && v.Tower == u.Anchors[1].Tower && v.Seconds > 10_000 {
+				if v.Bin() == 2 && v.Tower() == u.Anchors[1].Tower && v.Seconds() > 10_000 {
 					n++
 					break
 				}

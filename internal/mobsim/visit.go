@@ -1,0 +1,92 @@
+package mobsim
+
+import (
+	"fmt"
+
+	"repro/internal/radio"
+	"repro/internal/timegrid"
+)
+
+// Visit is one dwell interval: the agent spent Seconds attached to Tower
+// during the given 4-hour bin of the day. AtResidence marks dwell at the
+// agent's current residence (primary home, or the relocation home while
+// relocated); the traffic engine applies WiFi offload only there.
+//
+// The struct is packed into 8 bytes — half the naive layout — because
+// visits are the dominant per-day allocation: a DayBuffer arena holds
+// ~10 of them per agent per day, so at the million-subscriber rung the
+// encoding is the difference between ~80 MB and ~240 MB of hot arena.
+// One word holds the tower, the other folds seconds, bin and the
+// residence flag:
+//
+//	word 0  tower    uint32           full TowerID range
+//	word 1  bits  0–20  seconds       0..MaxVisitSeconds (a day is 86 400)
+//	        bits 21–28  bin           full uint8 range (BinsPerDay is 6)
+//	        bit  29     at-residence
+//
+// Fields are reached through the Tower/Bin/Seconds/AtResidence
+// accessors; values are built with MakeVisit, which rejects encodings
+// that would not round-trip. The packed form is a pure re-encoding:
+// pack→unpack is bit-identical for every representable visit, so every
+// consumer of the old open-struct layout produces unchanged output.
+type Visit struct {
+	tower uint32
+	pack  uint32
+}
+
+// The packed-word layout of Visit.
+const (
+	visitSecondsBits = 21
+	visitBinShift    = visitSecondsBits
+	visitResShift    = visitBinShift + 8
+
+	// MaxVisitSeconds is the largest dwell a Visit can carry. A full
+	// day is 86,400 seconds, so the 21-bit field leaves >24× headroom
+	// for synthetic feeds with multi-day dwell records.
+	MaxVisitSeconds = 1<<visitSecondsBits - 1
+
+	// MaxVisitBin is the largest bin index a Visit can carry (the full
+	// uint8 range; the simulator only uses 0..BinsPerDay-1).
+	MaxVisitBin = 1<<8 - 1
+)
+
+// MakeVisit packs one dwell interval. It panics on values the 8-byte
+// encoding cannot represent losslessly — a negative tower or dwell,
+// seconds above MaxVisitSeconds, or a bin outside the uint8 range.
+// Boundary-crossing decoders (feeds) validate ranges first and report
+// row errors instead of panicking.
+func MakeVisit(tower radio.TowerID, bin timegrid.Bin, seconds int32, atResidence bool) Visit {
+	if tower < 0 {
+		panic(fmt.Sprintf("mobsim: MakeVisit tower %d out of range", tower))
+	}
+	if bin < 0 || bin > MaxVisitBin {
+		panic(fmt.Sprintf("mobsim: MakeVisit bin %d out of range", bin))
+	}
+	if seconds < 0 || seconds > MaxVisitSeconds {
+		panic(fmt.Sprintf("mobsim: MakeVisit seconds %d out of range", seconds))
+	}
+	pack := uint32(seconds) | uint32(bin)<<visitBinShift
+	if atResidence {
+		pack |= 1 << visitResShift
+	}
+	return Visit{tower: uint32(tower), pack: pack}
+}
+
+// Tower returns the tower the agent was attached to.
+func (v Visit) Tower() radio.TowerID { return radio.TowerID(v.tower) }
+
+// Bin returns the 4-hour bin of the day the dwell falls in.
+func (v Visit) Bin() timegrid.Bin { return timegrid.Bin(v.pack >> visitBinShift & 0xFF) }
+
+// Seconds returns the dwell length in seconds.
+func (v Visit) Seconds() int32 { return int32(v.pack & MaxVisitSeconds) }
+
+// AtResidence reports whether the dwell is at the agent's current
+// residence (WiFi-offload territory for the traffic engine).
+func (v Visit) AtResidence() bool { return v.pack>>visitResShift&1 == 1 }
+
+// String renders the visit for test failures and debugging.
+func (v Visit) String() string {
+	return fmt.Sprintf("Visit{Tower:%d Bin:%d Seconds:%d AtResidence:%t}",
+		v.Tower(), v.Bin(), v.Seconds(), v.AtResidence())
+}

@@ -1,0 +1,89 @@
+package mobsim
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+
+	"repro/internal/radio"
+	"repro/internal/timegrid"
+)
+
+// The memory diet of the million-subscriber ladder rests on Visit being
+// exactly two machine words of four bytes: a padded or widened layout
+// silently doubles the dominant allocation of the whole system (the
+// DayBuffer arenas hold ~10 visits per agent per day). The array length
+// must be a constant equal to 8, so this line fails to compile the
+// moment a field is added or widened.
+var _ [8]byte = [unsafe.Sizeof(Visit{})]byte{}
+
+// visitEq asserts one encode/decode round trip.
+func visitEq(t *testing.T, tower radio.TowerID, bin timegrid.Bin, sec int32, atRes bool) {
+	t.Helper()
+	v := MakeVisit(tower, bin, sec, atRes)
+	if v.Tower() != tower || v.Bin() != bin || v.Seconds() != sec || v.AtResidence() != atRes {
+		t.Fatalf("round trip lost data: MakeVisit(%d, %d, %d, %v) = %v decoded as (%d, %d, %d, %v)",
+			tower, bin, sec, atRes, v, v.Tower(), v.Bin(), v.Seconds(), v.AtResidence())
+	}
+}
+
+// TestVisitRoundTripEdges drives the packed encoding through every
+// adversarial corner: field extremes (tower 0 and MaxInt32, zero and
+// maximum dwell), every representable bin, and both residence flags —
+// each field at its edge while the others vary, so a mask that is one
+// bit short or a shift that leaks into a neighbouring field cannot
+// survive.
+func TestVisitRoundTripEdges(t *testing.T) {
+	towers := []radio.TowerID{0, 1, 4095, 1 << 30, 1<<31 - 1}
+	secs := []int32{0, 1, secondsPerBin, MaxVisitSeconds - 1, MaxVisitSeconds}
+	for bin := timegrid.Bin(0); bin <= MaxVisitBin; bin++ {
+		for _, tower := range towers {
+			for _, sec := range secs {
+				visitEq(t, tower, bin, sec, false)
+				visitEq(t, tower, bin, sec, true)
+			}
+		}
+	}
+}
+
+// TestVisitRoundTripRandom is the 10k-case randomized property test:
+// any in-range (tower, bin, seconds, residence) quadruple must decode
+// to exactly itself. The generator is seeded, so a failure reproduces.
+func TestVisitRoundTripRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(0x51517))
+	for i := 0; i < 10_000; i++ {
+		tower := radio.TowerID(rnd.Int31())
+		bin := timegrid.Bin(rnd.Intn(MaxVisitBin + 1))
+		sec := int32(rnd.Intn(MaxVisitSeconds + 1))
+		atRes := rnd.Intn(2) == 1
+		visitEq(t, tower, bin, sec, atRes)
+	}
+}
+
+// TestMakeVisitRejectsUnrepresentable pins the constructor's contract:
+// out-of-range values are programmer errors and must panic rather than
+// silently truncate into a neighbouring field.
+func TestMakeVisitRejectsUnrepresentable(t *testing.T) {
+	cases := []struct {
+		name  string
+		tower radio.TowerID
+		bin   timegrid.Bin
+		sec   int32
+	}{
+		{"negative tower", -1, 0, 100},
+		{"negative bin", 0, -1, 100},
+		{"bin too large", 0, MaxVisitBin + 1, 100},
+		{"negative seconds", 0, 0, -1},
+		{"seconds too large", 0, 0, MaxVisitSeconds + 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeVisit(%d, %d, %d) did not panic", tc.tower, tc.bin, tc.sec)
+				}
+			}()
+			MakeVisit(tc.tower, tc.bin, tc.sec, false)
+		})
+	}
+}

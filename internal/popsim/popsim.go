@@ -132,6 +132,24 @@ func (u *User) Worker() bool {
 	return u.Profile == OfficeWorker || u.Profile == KeyWorker || u.Profile == Student
 }
 
+// The rungs of the scale ladder (PERFORMANCE.md, "Scale ladder"):
+// named so tests, benchmarks and the cmd -users flags agree on what
+// each rung means instead of repeating magic numbers.
+//
+//	ScaleSmall   the default experiment scale — large enough for stable
+//	             medians, small enough for fast tests
+//	ScaleMedium  the parity/smoke rung: big enough that per-user memory
+//	             and allocation behaviour is no longer dominated by
+//	             fixed overheads
+//	ScaleLarge   the million-subscriber rung of the paper's real MNO
+//	             footprint; must fit the documented bytes-per-user
+//	             budget
+const (
+	ScaleSmall  = 8_000
+	ScaleMedium = 100_000
+	ScaleLarge  = 1_000_000
+)
+
 // Config controls population synthesis.
 type Config struct {
 	Seed           uint64
@@ -140,10 +158,10 @@ type Config struct {
 	RoamerFraction float64 // extra inbound-roamer SIMs, idem
 }
 
-// DefaultConfig returns the scale used by the experiments: large enough
-// for stable medians, small enough for fast tests.
+// DefaultConfig returns the scale used by the experiments: ScaleSmall
+// users, with the paper's M2M and roamer fractions.
 func DefaultConfig() Config {
-	return Config{Seed: 1, TargetUsers: 8000, M2MFraction: 0.08, RoamerFraction: 0.03}
+	return Config{Seed: 1, TargetUsers: ScaleSmall, M2MFraction: 0.08, RoamerFraction: 0.03}
 }
 
 // Population is the synthesized subscriber base.
@@ -156,6 +174,10 @@ type Population struct {
 	native       []UserID // indices of native smartphones
 	byHomeCounty map[census.CountyID][]UserID
 	scale        float64 // agents per census person
+
+	// cols is the struct-of-arrays mirror of the hot per-agent fields
+	// (see Columns); sealed at the end of Synthesize.
+	cols Columns
 }
 
 // profileWeights returns the profile distribution for a cluster,

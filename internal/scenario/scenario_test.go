@@ -23,8 +23,8 @@ func sameFactors(t *testing.T, got, want *pandemic.Scenario) {
 	plain := &census.County{Name: "Greater Manchester", Kind: census.KindMetroCore}
 	for d := timegrid.StudyDay(0); d < timegrid.StudyDays; d++ {
 		type pair struct {
-			name     string
-			g, w     float64
+			name string
+			g, w float64
 		}
 		for _, p := range []pair{
 			{"activity", got.Activity(d), want.Activity(d)},

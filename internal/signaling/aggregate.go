@@ -165,9 +165,9 @@ func (r *RATShare) ConsumeDay(day timegrid.SimDay, traces []mobsim.DayTrace) {
 		u := r.gen.pop.User(t.User)
 		src := rngFor(r.gen.seed, uint64(t.User), uint64(day))
 		for _, v := range t.Visits {
-			tw := r.gen.topo.Tower(v.Tower)
+			tw := r.gen.topo.Tower(v.Tower())
 			rat := r.gen.ratFor(u, tw, src)
-			r.seconds[rat] += float64(v.Seconds)
+			r.seconds[rat] += float64(v.Seconds())
 		}
 	}
 }

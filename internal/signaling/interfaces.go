@@ -92,18 +92,18 @@ func (g *Generator) VoiceDay(t *mobsim.DayTrace, day timegrid.SimDay, voiceFacto
 		// agent is; bias towards waking bins.
 		weights := make([]float64, len(t.Visits))
 		for i, v := range t.Visits {
-			w := float64(v.Seconds)
-			if v.Bin == 0 {
+			w := float64(v.Seconds())
+			if v.Bin() == 0 {
 				w *= 0.05 // few calls in the small hours
 			}
 			weights[i] = w
 		}
 		v := t.Visits[src.Pick(weights)]
-		start, end := v.Bin.Hours()
+		start, end := v.Bin().Hours()
 		sec := int32(start*3600 + src.Intn((end-start)*3600))
 		dur := int32(src.IntRange(45, 900))
-		g.emitVoice(f, u, day, sec, VoiceCallStart, v.Tower, src)
-		g.emitVoice(f, u, day, sec+dur, VoiceCallEnd, v.Tower, src)
+		g.emitVoice(f, u, day, sec, VoiceCallStart, v.Tower(), src)
+		g.emitVoice(f, u, day, sec+dur, VoiceCallEnd, v.Tower(), src)
 	}
 }
 

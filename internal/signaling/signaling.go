@@ -170,37 +170,39 @@ func (g *Generator) UserDay(t *mobsim.DayTrace, day timegrid.SimDay, f EmitFunc)
 	}
 
 	first := t.Visits[0]
-	sec := int32(first.Bin) * timegrid.BinHours * 3600
-	g.emit(f, u, day, sec, Attach, first.Tower, src)
-	g.emit(f, u, day, sec+1, Authentication, first.Tower, src)
-	g.emit(f, u, day, sec+2, SessionEstablish, first.Tower, src)
+	firstTower := first.Tower()
+	sec := int32(first.Bin()) * timegrid.BinHours * 3600
+	g.emit(f, u, day, sec, Attach, firstTower, src)
+	g.emit(f, u, day, sec+1, Authentication, firstTower, src)
+	g.emit(f, u, day, sec+2, SessionEstablish, firstTower, src)
 
-	prev := first.Tower
+	prev := firstTower
 	for i, v := range t.Visits {
-		binStart := int32(v.Bin) * timegrid.BinHours * 3600
+		tw := v.Tower()
+		binStart := int32(v.Bin()) * timegrid.BinHours * 3600
 		at := binStart + int32(src.Intn(timegrid.BinHours*3600))
-		if i > 0 && v.Tower != prev {
+		if i > 0 && tw != prev {
 			// Tower change: active users hand over, idle ones TAU.
 			if src.Bool(0.55) {
-				g.emit(f, u, day, at, Handover, v.Tower, src)
+				g.emit(f, u, day, at, Handover, tw, src)
 			} else {
-				g.emit(f, u, day, at, TrackingAreaUpdate, v.Tower, src)
-				g.emit(f, u, day, at+1, ServiceRequest, v.Tower, src)
+				g.emit(f, u, day, at, TrackingAreaUpdate, tw, src)
+				g.emit(f, u, day, at+1, ServiceRequest, tw, src)
 			}
 		}
 		// Activity within the dwell: service requests / idle cycles and
 		// dedicated bearer churn, proportional to dwell length.
-		cycles := src.Poisson(float64(v.Seconds) / 3600 * 1.2)
+		cycles := src.Poisson(float64(v.Seconds()) / 3600 * 1.2)
 		for c := 0; c < cycles; c++ {
 			cat := binStart + int32(src.Intn(timegrid.BinHours*3600))
-			g.emit(f, u, day, cat, ServiceRequest, v.Tower, src)
-			g.emit(f, u, day, cat+int32(src.IntRange(30, 600)), IdleTransition, v.Tower, src)
+			g.emit(f, u, day, cat, ServiceRequest, tw, src)
+			g.emit(f, u, day, cat+int32(src.IntRange(30, 600)), IdleTransition, tw, src)
 			if src.Bool(0.15) {
-				g.emit(f, u, day, cat+2, BearerSetup, v.Tower, src)
-				g.emit(f, u, day, cat+int32(src.IntRange(60, 900)), BearerRelease, v.Tower, src)
+				g.emit(f, u, day, cat+2, BearerSetup, tw, src)
+				g.emit(f, u, day, cat+int32(src.IntRange(60, 900)), BearerRelease, tw, src)
 			}
 		}
-		prev = v.Tower
+		prev = tw
 	}
 
 	if src.Bool(0.06) { // phones switched off overnight

@@ -466,21 +466,22 @@ func (e *Engine) accumulateRange(t *accTile, day timegrid.SimDay, f *dayFactors,
 		}
 
 		for _, v := range tr.Visits {
-			secPerHour := float64(v.Seconds) / timegrid.BinHours
+			tw := v.Tower()
+			secPerHour := float64(v.Seconds()) / timegrid.BinHours
 			hourFrac := secPerHour / 3600
-			start, end := v.Bin.Hours()
+			start, end := v.Bin().Hours()
 			// offEng drives "active user" engagement (no appetite boost:
 			// an offloaded user is attached but inactive on cellular);
 			// offDem additionally carries the confinement demand boost.
 			c := &cls[0]
-			if v.AtResidence {
-				if e.towerRural[v.Tower] {
+			if v.AtResidence() {
+				if e.towerRural[tw] {
 					c = &cls[2]
 				} else {
 					c = &cls[1]
 				}
 			}
-			th := t.tower(int32(v.Tower))
+			th := t.tower(int32(tw))
 			for h := start; h < end; h++ {
 				a := &th[h]
 				a.presSec += secPerHour

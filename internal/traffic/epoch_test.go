@@ -20,12 +20,8 @@ func synthDay(users int, towers []radio.TowerID, atResidence bool) []mobsim.DayT
 		traces[u].User = popsim.UserID(u + 1)
 		for b := 0; b < timegrid.BinsPerDay; b++ {
 			tw := towers[(u+b)%len(towers)]
-			traces[u].Visits = append(traces[u].Visits, mobsim.Visit{
-				Tower:       tw,
-				Bin:         timegrid.Bin(b),
-				Seconds:     4 * 3600,
-				AtResidence: atResidence,
-			})
+			traces[u].Visits = append(traces[u].Visits,
+				mobsim.MakeVisit(tw, timegrid.Bin(b), 4*3600, atResidence))
 		}
 	}
 	return traces

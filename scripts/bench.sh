@@ -14,8 +14,10 @@
 # The default set covers the per-day hot path (simulation, KPI engine —
 # the EngineDay pattern includes the serial Day/DayAppend benchmarks and
 # the intra-day EngineDayAppendSharded2/4 ones, §2.3 metrics), the
-# end-to-end serial/streaming pipelines, and the registry sweep with
-# copy-on-divergence on/off (SweepSharedPrefix vs SweepUnsharedRegistry).
+# end-to-end serial/streaming pipelines, the registry sweep with
+# copy-on-divergence on/off (SweepSharedPrefix vs SweepUnsharedRegistry),
+# and the ScaleLadder rungs (8k/100k/1M users; the 1M rung takes tens of
+# seconds to build — set BENCH to exclude it for quick local loops).
 # Compare snapshots with scripts/benchdiff.sh.
 #
 # Snapshots are named BENCH_<sha>.json after the commit they measure, so
@@ -42,7 +44,7 @@ if [ "$sha" != nogit ] && [ -n "$(git status --porcelain 2>/dev/null)" ]; then
   sha="${sha}-dirty"
 fi
 benchtime="${BENCHTIME:-1x}"
-pattern="${BENCH:-SimDayInto|SimulateDay|EngineDay|DayMetrics|MergeVisits|RunStandardSerial|StreamWorkers1\$|SweepSerial|SweepParallel|SweepSharedPrefix|SweepUnsharedRegistry}"
+pattern="${BENCH:-SimDayInto|SimulateDay|EngineDay|DayMetrics|MergeVisits|RunStandardSerial|StreamWorkers1\$|SweepSerial|SweepParallel|SweepSharedPrefix|SweepUnsharedRegistry|ScaleLadder}"
 
 # Runner metadata: numbers are only comparable between snapshots taken on
 # similar hardware, so record what ran them. benchdiff warns when the two
