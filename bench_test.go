@@ -10,6 +10,7 @@ package repro_test
 import (
 	"bytes"
 	"context"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/epi"
 	"repro/internal/experiments"
 	"repro/internal/feeds"
+	"repro/internal/feeds/colfmt"
 	"repro/internal/geo"
 	"repro/internal/mobsim"
 	"repro/internal/obs"
@@ -823,4 +825,153 @@ func BenchmarkTraceFeedRoundTrip(b *testing.B) {
 		}
 	}
 	_ = r
+}
+
+// --- feed replay: CSV vs columnar -------------------------------------------
+
+// feedReplayDays is the number of simulated days each replay benchmark
+// encodes and decodes per iteration.
+const feedReplayDays = 3
+
+// benchmarkFeedReplay builds a stack at the given rung, encodes
+// feedReplayDays days of traces + KPI records in one format, and
+// measures a full decode pass over the feed (the read side of
+// `mnostream -feeds`). Reported metrics: bytes/day is the encoded feed
+// size per day, ns/day the replay time per day. The columnar path
+// reuses its readers via Reset (its steady state is allocation-free;
+// colfmt's alloc pins enforce that), the CSV path re-opens per pass as
+// feeds.OpenDir does.
+func benchmarkFeedReplay(b *testing.B, users int, col bool) {
+	cfg := experiments.DefaultConfig()
+	cfg.TargetUsers = users
+	d := experiments.NewDataset(cfg)
+
+	var traceBuf, kpiBuf bytes.Buffer
+	var tw interface {
+		WriteDay(timegrid.SimDay, []mobsim.DayTrace) error
+		Flush() error
+	}
+	var kw interface {
+		WriteDay(timegrid.SimDay, []traffic.CellDay) error
+		Flush() error
+	}
+	if col {
+		tw, kw = colfmt.NewTraceWriter(&traceBuf), colfmt.NewKPIWriter(&kpiBuf)
+	} else {
+		tw, kw = feeds.NewTraceWriter(&traceBuf), feeds.NewKPIWriter(&kpiBuf)
+	}
+	buf := mobsim.NewDayBuffer()
+	var cells []traffic.CellDay
+	for day := timegrid.SimDay(0); day < feedReplayDays; day++ {
+		traces := d.Sim.DayInto(buf, day)
+		if err := tw.WriteDay(day, traces); err != nil {
+			b.Fatal(err)
+		}
+		cells = d.Engine.DayAppend(cells[:0], day, traces)
+		if err := kw.WriteDay(day, cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := kw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	feedBytes := traceBuf.Len() + kpiBuf.Len()
+
+	tr := bytes.NewReader(traceBuf.Bytes())
+	kr := bytes.NewReader(kpiBuf.Bytes())
+	var ctr *colfmt.TraceReader
+	var ckr *colfmt.KPIReader
+	if col {
+		var err error
+		if ctr, err = colfmt.NewTraceReader(tr); err != nil {
+			b.Fatal(err)
+		}
+		if ckr, err = colfmt.NewKPIReader(kr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	openTrace := func() (feeds.TraceDayReader, error) {
+		tr.Reset(traceBuf.Bytes())
+		if col {
+			return ctr, ctr.Reset(tr)
+		}
+		return feeds.NewTraceReader(tr)
+	}
+	openKPI := func() (feeds.KPIDayReader, error) {
+		kr.Reset(kpiBuf.Bytes())
+		if col {
+			return ckr, ckr.Reset(kr)
+		}
+		return feeds.NewKPIReader(kr)
+	}
+
+	visits := 0
+	replay := func() error {
+		trd, err := openTrace()
+		if err != nil {
+			return err
+		}
+		for {
+			if _, err := trd.ReadDayInto(buf); err == io.EOF {
+				break
+			} else if err != nil {
+				return err
+			}
+			visits += buf.Len()
+		}
+		krd, err := openKPI()
+		if err != nil {
+			return err
+		}
+		for {
+			day, out, err := krd.ReadDayAppend(cells[:0])
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			_, cells = day, out
+		}
+		return nil
+	}
+	if err := replay(); err != nil { // warm the arenas before timing
+		b.Fatal(err)
+	}
+	if visits == 0 {
+		b.Fatal("replay decoded no visits")
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := replay(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/feedReplayDays, "ns/day")
+	b.ReportMetric(float64(feedBytes)/feedReplayDays, "bytes/day")
+}
+
+// BenchmarkFeedReplayCSV and BenchmarkFeedReplayCol compare feed decode
+// throughput at the 8k (test/figure) and 100k (CI streaming) rungs —
+// the measured table lives in PERFORMANCE.md, "Columnar feeds".
+func BenchmarkFeedReplayCSV(b *testing.B) {
+	for _, users := range []int{popsim.ScaleSmall, popsim.ScaleMedium} {
+		b.Run(benchName("users", users), func(b *testing.B) {
+			benchmarkFeedReplay(b, users, false)
+		})
+	}
+}
+
+func BenchmarkFeedReplayCol(b *testing.B) {
+	for _, users := range []int{popsim.ScaleSmall, popsim.ScaleMedium} {
+		b.Run(benchName("users", users), func(b *testing.B) {
+			benchmarkFeedReplay(b, users, true)
+		})
+	}
 }

@@ -8,8 +8,12 @@
 //	signaling_summary.csv per-day control-plane event counts by type
 //
 // With -raw it additionally persists the replayable feed directory that
-// cmd/mnostream consumes: traces.csv (full window), kpi.csv (full
-// window) and events.csv (one sample day).
+// cmd/mnostream consumes: traces (full window), KPI records (full
+// window) and events.csv (one sample day). -format picks the trace/KPI
+// encoding: csv (traces.csv/kpi.csv, the default) or col — the columnar
+// binary day-block format (traces.col/kpi.col, internal/feeds/colfmt),
+// which is several times faster to replay and a fraction of the size.
+// cmd/feedconv converts between the two after the fact.
 //
 // The behavioural scenario defaults to the calibrated COVID timeline;
 // -scenario selects a registry built-in (see `mnosweep -list`) or a
@@ -17,8 +21,8 @@
 //
 // Usage:
 //
-//	mnosim -out ./data [-users N] [-seed S] [-scenario NAME|FILE.json] [-raw]
-//	       [-cpuprofile F] [-memprofile F]
+//	mnosim -out ./data [-users N] [-seed S] [-scenario NAME|FILE.json]
+//	       [-raw] [-format csv|col] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/feeds"
+	"repro/internal/feeds/colfmt"
 	"repro/internal/mobsim"
 	"repro/internal/popsim"
 	"repro/internal/prof"
@@ -51,18 +56,22 @@ func main() {
 		users = flag.Int("users", popsim.ScaleSmall, "synthetic native smartphone users")
 		seed  = flag.Uint64("seed", 42, "master random seed")
 		scen  = flag.String("scenario", "", "behavioural scenario: registry name or JSON spec file (empty: the calibrated default)")
-		raw   = flag.Bool("raw", false, "also export raw per-visit traces and a sample signalling feed (large)")
-		pf    = prof.Flags()
+		raw    = flag.Bool("raw", false, "also export raw per-visit traces and a sample signalling feed (large)")
+		format = flag.String("format", feeds.FormatCSV, "raw feed encoding: csv or col (columnar binary, faster to replay)")
+		pf     = prof.Flags()
 	)
 	flag.Parse()
 
 	err := pf.Run(func() error {
-		return run(*out, *users, *seed, *scen, *raw)
+		return run(*out, *users, *seed, *scen, *raw, *format)
 	})
 	cli.Exit("mnosim", err)
 }
 
-func run(out string, users int, seed uint64, scenName string, raw bool) error {
+func run(out string, users int, seed uint64, scenName string, raw bool, format string) error {
+	if format != feeds.FormatCSV && format != feeds.FormatCol {
+		return cli.Usagef("unknown -format %q (want %q or %q)", format, feeds.FormatCSV, feeds.FormatCol)
+	}
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -96,7 +105,7 @@ func run(out string, users int, seed uint64, scenName string, raw bool) error {
 		return err
 	}
 	if raw {
-		if err := writeRaw(out, r, scenName); err != nil {
+		if err := writeRaw(out, r, scenName, format); err != nil {
 			return err
 		}
 	}
@@ -104,31 +113,56 @@ func run(out string, users int, seed uint64, scenName string, raw bool) error {
 	return nil
 }
 
+// dayTraceWriter and dayKPIWriter abstract the per-format feed writers
+// (feeds CSV vs colfmt columnar).
+type dayTraceWriter interface {
+	WriteDay(day timegrid.SimDay, traces []mobsim.DayTrace) error
+	Flush() error
+}
+
+type dayKPIWriter interface {
+	WriteDay(day timegrid.SimDay, cells []traffic.CellDay) error
+	Flush() error
+}
+
 // writeRaw exports the raw per-visit trace feed and the per-cell KPI
 // feed for the full window, plus one day of raw control-plane events, in
 // the feeds package's formats — the directory layout cmd/mnostream
 // replays (feeds.OpenDir), so analyses can be re-run without
 // re-simulating.
-func writeRaw(out string, r *experiments.Results, scenName string) error {
-	meta := feeds.Meta{Users: r.Dataset.Config.TargetUsers, Seed: r.Dataset.Config.Seed, Scenario: scenName}
+func writeRaw(out string, r *experiments.Results, scenName, format string) error {
+	col := format == feeds.FormatCol
+	meta := feeds.Meta{Users: r.Dataset.Config.TargetUsers, Seed: r.Dataset.Config.Seed, Scenario: scenName, Format: format}
+	traceName, kpiName := feeds.TraceFeedName, feeds.KPIFeedName
+	if col {
+		meta.FormatVersion = colfmt.Version
+		traceName, kpiName = feeds.TraceColFeedName, feeds.KPIColFeedName
+	}
 	if err := feeds.WriteMeta(out, meta); err != nil {
 		return err
 	}
-	tf, err := os.Create(filepath.Join(out, feeds.TraceFeedName))
+	tf, err := os.Create(filepath.Join(out, traceName))
 	if err != nil {
 		return err
 	}
 	defer tf.Close()
-	tw := feeds.NewTraceWriter(tf)
-	var kw *feeds.KPIWriter
+	var tw dayTraceWriter = feeds.NewTraceWriter(tf)
+	if col {
+		tw = colfmt.NewTraceWriter(tf)
+	}
+	var kw dayKPIWriter
 	var kf *os.File
 	if r.Dataset.Engine != nil {
-		kf, err = os.Create(filepath.Join(out, feeds.KPIFeedName))
+		kf, err = os.Create(filepath.Join(out, kpiName))
 		if err != nil {
 			return err
 		}
 		defer kf.Close()
-		kw = feeds.NewKPIWriter(kf)
+		if col {
+			kw = colfmt.NewKPIWriter(kf)
+		} else {
+			kw = feeds.NewKPIWriter(kf)
+		}
 	}
 	buf := mobsim.NewDayBuffer()
 	var cells []traffic.CellDay

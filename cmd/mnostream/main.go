@@ -16,6 +16,14 @@
 //	                                and control-plane generation included)
 //	                                and stream it straight into analytics.
 //
+// Multi-process sweeps: -partial FILE additionally serializes the
+// replay's mergeable aggregates (internal/partial JSON). Split a feed
+// directory into user-range shards with `feedconv -partition N`, replay
+// each shard in its own process with -partial, then fold the files with
+// `feedmerge`: the merged table is bit-identical to a single-process
+// replay of the whole directory (KPI sketch merges are exact; mobility
+// is re-folded in user order).
+//
 // Engine sizing: -workers bounds the goroutines producing days and
 // running shard tasks, -shards the logical partitions. Summaries do not
 // depend on -workers, and the figure-grade pipeline behind
@@ -47,7 +55,7 @@
 //
 // Usage:
 //
-//	mnostream [-feeds DIR] [-lenient] [-users N] [-seed S]
+//	mnostream [-feeds DIR] [-lenient] [-partial FILE] [-users N] [-seed S]
 //	          [-scenario NAME|FILE.json]
 //	          [-workers W] [-shards K] [-engineshards E] [-days D]
 //	          [-fault SPEC] [-metrics ADDR] [-metrics-out FILE]
@@ -67,6 +75,7 @@ import (
 	"repro/internal/feeds"
 	"repro/internal/mobsim"
 	"repro/internal/obs"
+	"repro/internal/partial"
 	"repro/internal/popsim"
 	"repro/internal/scenario"
 	"repro/internal/signaling"
@@ -86,9 +95,10 @@ func main() {
 		shards    = flag.Int("shards", 0, "logical shards (0: default)")
 		engShards = flag.Int("engineshards", 0, "intra-day KPI accumulation shards in inline mode (<=1: serial engine; sharded records differ from serial only in float association, <=1e-9 relative)")
 		days      = flag.Int("days", timegrid.SimDays, "days to stream in inline mode")
-		noSig     = flag.Bool("nosignaling", false, "skip control-plane generation in inline mode")
-		faultSpec = flag.String("fault", "", "deterministic fault injection spec: site:kind:key[:delay][,...] (see internal/fault)")
-		of        = obs.Flags()
+		noSig      = flag.Bool("nosignaling", false, "skip control-plane generation in inline mode")
+		faultSpec  = flag.String("fault", "", "deterministic fault injection spec: site:kind:key[:delay][,...] (see internal/fault)")
+		partialOut = flag.String("partial", "", "write the replay's mergeable partial (internal/partial JSON) to FILE; -feeds mode only — merge shard partials with feedmerge")
+		of         = obs.Flags()
 	)
 	flag.Parse()
 
@@ -96,12 +106,12 @@ func main() {
 	defer stop()
 
 	err := of.Run(func() error {
-		return run(ctx, *feedDir, *lenient, *users, *seed, *scen, *workers, *shards, *engShards, *days, !*noSig, *faultSpec, of.Registry())
+		return run(ctx, *feedDir, *lenient, *users, *seed, *scen, *workers, *shards, *engShards, *days, !*noSig, *faultSpec, *partialOut, of.Registry())
 	})
 	cli.Exit("mnostream", err)
 }
 
-func run(ctx context.Context, feedDir string, lenient bool, users int, seed uint64, scenName string, workers, shards, engShards, days int, withSignaling bool, faultSpec string, reg *obs.Registry) error {
+func run(ctx context.Context, feedDir string, lenient bool, users int, seed uint64, scenName string, workers, shards, engShards, days int, withSignaling bool, faultSpec, partialOut string, reg *obs.Registry) error {
 	fi, err := fault.ParseSpec(faultSpec)
 	if err != nil {
 		return cli.Usagef("%w", err)
@@ -129,6 +139,9 @@ func run(ctx context.Context, feedDir string, lenient bool, users int, seed uint
 	if lenient && feedDir == "" {
 		return cli.Usagef("-lenient only applies to -feeds mode; inline simulation has no corrupt rows to skip")
 	}
+	if partialOut != "" && feedDir == "" {
+		return cli.Usagef("-partial only applies to -feeds mode; it serializes a replay for feedmerge")
+	}
 	d := experiments.NewDataset(cfg)
 
 	eng := stream.NewEngine(scfg)
@@ -141,13 +154,26 @@ func run(ctx context.Context, feedDir string, lenient bool, users int, seed uint
 	var sig *stream.Signaling
 	var src stream.Source
 	var fs *feeds.FeedSource
+	var writePartial func() error
 	switch {
 	case feedDir != "":
-		if meta, ok, err := feeds.ReadMeta(feedDir); err != nil {
+		meta, ok, err := feeds.ReadMeta(feedDir)
+		if err != nil {
 			return err
-		} else if ok && (meta.Users != users || meta.Seed != seed) {
+		}
+		if ok && (meta.Users != users || meta.Seed != seed) {
 			return cli.Usagef("feed directory was generated with -users %d -seed %d (got -users %d -seed %d); IDs in the feeds are only meaningful relative to that stack",
 				meta.Users, meta.Seed, users, seed)
+		}
+		if !ok {
+			meta = feeds.Meta{Users: users, Seed: seed}
+		}
+		if partialOut != "" {
+			rec := partial.NewRecorder(d.Topology, cfg.TopN, meta)
+			eng.AddTraceConsumer(rec.Traces())
+			eng.AddKPIConsumer(rec.KPI())
+			eng.AddEventSharder(rec.Events())
+			writePartial = func() error { return partial.WriteFile(partialOut, rec.Partial()) }
 		}
 		// Skipped-row accounting: every lenient skip is reported as it
 		// happens and counted (feeds.skipped_rows when metrics are on).
@@ -162,7 +188,6 @@ func run(ctx context.Context, feedDir string, lenient bool, users int, seed uint
 				fmt.Fprintf(os.Stderr, "mnostream: skipping corrupt row %s:%d: %v\n", name, line, err)
 			}
 		}
-		var err error
 		fs, err = feeds.OpenDirOpts(feedDir, opt)
 		if err != nil {
 			return err
@@ -197,6 +222,12 @@ func run(ctx context.Context, feedDir string, lenient bool, users int, seed uint
 	}
 	if fs != nil && fs.Skipped() > 0 {
 		fmt.Fprintf(os.Stderr, "mnostream: skipped %d corrupt feed rows\n", fs.Skipped())
+	}
+	if writePartial != nil {
+		if err := writePartial(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "mnostream: partial written to %s\n", partialOut)
 	}
 	fmt.Fprintf(os.Stderr, "mnostream: %d days in %v (%d workers, %d shards)\n",
 		p.daysDone, time.Since(p.start).Round(time.Millisecond), scfg.Workers, scfg.Shards)

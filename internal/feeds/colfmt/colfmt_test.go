@@ -1,0 +1,510 @@
+package colfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/mobsim"
+	"repro/internal/radio"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+func mkVisit(tower int, bin int, sec int32, res bool) mobsim.Visit {
+	return mobsim.MakeVisit(radio.TowerID(tower), timegrid.Bin(bin), sec, res)
+}
+
+// traceFixture is a hand-built multi-day feed exercising the format's
+// corners: non-monotonic user IDs (negative deltas), a zero-visit user,
+// an empty day block, extreme IDs and field extremes.
+func traceFixture() map[timegrid.SimDay][]mobsim.DayTrace {
+	return map[timegrid.SimDay][]mobsim.DayTrace{
+		3: {
+			{User: 5, Visits: []mobsim.Visit{mkVisit(0, 0, 0, false), mkVisit(1<<31-1, 5, mobsim.MaxVisitSeconds, true)}},
+			{User: 9, Visits: []mobsim.Visit{mkVisit(42, 2, 14400, true)}},
+			{User: 7, Visits: []mobsim.Visit{mkVisit(7, 1, 60, false), mkVisit(8, 3, 61, true), mkVisit(9, 4, 62, false)}},
+		},
+		4: {},
+		5: {
+			{User: 0, Visits: nil},
+			{User: math.MaxUint32, Visits: []mobsim.Visit{mkVisit(12, 5, 86400, false)}},
+		},
+	}
+}
+
+var fixtureDays = []timegrid.SimDay{3, 4, 5}
+
+// encodeTraces writes the fixture and returns the file bytes.
+func encodeTraces(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	fix := traceFixture()
+	for _, d := range fixtureDays {
+		if err := w.WriteDay(d, fix[d]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func readAllTraces(t *testing.T, data []byte, opt Options) (map[timegrid.SimDay][]mobsim.DayTrace, []timegrid.SimDay, *TraceReader, error) {
+	t.Helper()
+	r, err := NewTraceReaderOpts(bytes.NewReader(data), opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	got := map[timegrid.SimDay][]mobsim.DayTrace{}
+	var order []timegrid.SimDay
+	buf := mobsim.NewDayBuffer()
+	for {
+		day, err := r.ReadDayInto(buf)
+		if err == io.EOF {
+			return got, order, r, nil
+		}
+		if err != nil {
+			return got, order, r, err
+		}
+		// Deep-copy: the buffer is reused across days.
+		var traces []mobsim.DayTrace
+		for _, tr := range buf.Traces() {
+			traces = append(traces, mobsim.DayTrace{User: tr.User, Visits: append([]mobsim.Visit(nil), tr.Visits...)})
+		}
+		got[day] = traces
+		order = append(order, day)
+	}
+}
+
+func sameTraces(t *testing.T, day timegrid.SimDay, got, want []mobsim.DayTrace) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("day %d: %d traces, want %d", day, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].User != want[i].User {
+			t.Fatalf("day %d trace %d: user %d, want %d", day, i, got[i].User, want[i].User)
+		}
+		if len(got[i].Visits) != len(want[i].Visits) {
+			t.Fatalf("day %d user %d: %d visits, want %d", day, want[i].User, len(got[i].Visits), len(want[i].Visits))
+		}
+		for j := range want[i].Visits {
+			if got[i].Visits[j] != want[i].Visits[j] {
+				t.Fatalf("day %d user %d visit %d: %v, want %v", day, want[i].User, j, got[i].Visits[j], want[i].Visits[j])
+			}
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	data := encodeTraces(t)
+	got, order, r, err := readAllTraces(t, data, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(fixtureDays) {
+		t.Fatalf("read %d days %v, want %v", len(order), order, fixtureDays)
+	}
+	fix := traceFixture()
+	for i, d := range fixtureDays {
+		if order[i] != d {
+			t.Fatalf("day order %v, want %v", order, fixtureDays)
+		}
+		sameTraces(t, d, got[d], fix[d])
+	}
+	if r.Skipped() != 0 {
+		t.Fatalf("clean feed skipped %d blocks", r.Skipped())
+	}
+}
+
+func TestTraceUserRange(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriterRange(&buf, 100, 199)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewTraceReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := r.UserRange(); lo != 100 || hi != 199 {
+		t.Fatalf("UserRange() = %d,%d, want 100,199", lo, hi)
+	}
+	if _, err := r.ReadDayInto(mobsim.NewDayBuffer()); err != io.EOF {
+		t.Fatalf("empty feed read = %v, want io.EOF", err)
+	}
+}
+
+func kpiFixture() map[timegrid.SimDay][]traffic.CellDay {
+	mk := func(cell int, seed float64) traffic.CellDay {
+		c := traffic.CellDay{Cell: radio.CellID(cell)}
+		for m := 0; m < traffic.NumMetrics; m++ {
+			c.Values[m] = seed * float64(m+1)
+		}
+		return c
+	}
+	weird := traffic.CellDay{Cell: 2}
+	weird.Values[0] = math.NaN()
+	weird.Values[1] = math.Inf(1)
+	weird.Values[2] = -0.0
+	return map[timegrid.SimDay][]traffic.CellDay{
+		10: {mk(30, 1.25), mk(7, 1e-12), mk(math.MaxInt32, 9.75e11)},
+		11: {weird},
+	}
+}
+
+var kpiDays = []timegrid.SimDay{10, 11}
+
+func TestKPIRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewKPIWriter(&buf)
+	fix := kpiFixture()
+	for _, d := range kpiDays {
+		if err := w.WriteDay(d, fix[d]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewKPIReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []traffic.CellDay
+	for _, d := range kpiDays {
+		day, out, err := r.ReadDayAppend(cells[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells = out
+		if day != d {
+			t.Fatalf("day = %d, want %d", day, d)
+		}
+		want := fix[d]
+		if len(cells) != len(want) {
+			t.Fatalf("day %d: %d cells, want %d", d, len(cells), len(want))
+		}
+		for i := range want {
+			if cells[i].Cell != want[i].Cell {
+				t.Fatalf("day %d cell %d: ID %d, want %d", d, i, cells[i].Cell, want[i].Cell)
+			}
+			for m := 0; m < traffic.NumMetrics; m++ {
+				// Bit comparison: NaN and signed zero must survive exactly.
+				if math.Float64bits(cells[i].Values[m]) != math.Float64bits(want[i].Values[m]) {
+					t.Fatalf("day %d cell %d metric %d: %v, want %v (bit-exact)", d, i, m, cells[i].Values[m], want[i].Values[m])
+				}
+			}
+		}
+	}
+	if _, _, err := r.ReadDayAppend(nil); err != io.EOF {
+		t.Fatalf("exhausted feed read = %v, want io.EOF", err)
+	}
+}
+
+func TestFileHeaderErrors(t *testing.T) {
+	good := encodeTraces(t)
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   error
+	}{
+		{"empty file", func(b []byte) []byte { return nil }, ErrTruncated},
+		{"short header", func(b []byte) []byte { return b[:7] }, ErrTruncated},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrBadMagic},
+		{"future version", func(b []byte) []byte { b[4] = 99; return b }, ErrVersion},
+		{"wrong kind", func(b []byte) []byte { b[5] = KindKPI; return b }, ErrKind},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := c.mutate(append([]byte(nil), good...))
+			for _, lenient := range []bool{false, true} {
+				_, err := NewTraceReaderOpts(bytes.NewReader(data), Options{Name: "t.col", Lenient: lenient})
+				if err == nil {
+					t.Fatalf("lenient=%v: header accepted", lenient)
+				}
+				if c.want != ErrTruncated && !errors.Is(err, c.want) {
+					t.Fatalf("lenient=%v: err = %v, want %v", lenient, err, c.want)
+				}
+				var be *BlockError
+				if !errors.As(err, &be) {
+					t.Fatalf("lenient=%v: err %T is not a *BlockError", lenient, err)
+				}
+				if !strings.HasPrefix(err.Error(), "colfmt: t.col:0:") {
+					t.Fatalf("lenient=%v: err %q lacks file:offset context", lenient, err)
+				}
+			}
+		})
+	}
+}
+
+// blockOffsets walks the encoded feed and returns each block's start.
+func blockOffsets(t *testing.T, data []byte) []int {
+	t.Helper()
+	var offs []int
+	off := fileHeaderSize
+	for off < len(data) {
+		offs = append(offs, off)
+		plen := int(binary.LittleEndian.Uint32(data[off+12 : off+16]))
+		off += blockHeaderSize + plen + 4
+	}
+	if off != len(data) {
+		t.Fatalf("block walk ended at %d of %d bytes", off, len(data))
+	}
+	return offs
+}
+
+// recrc recomputes a block's CRC footer after a deliberate mutation, so
+// the damage is semantic rather than a checksum mismatch.
+func recrc(data []byte, blockOff int) {
+	plen := int(binary.LittleEndian.Uint32(data[blockOff+12 : blockOff+16]))
+	end := blockOff + blockHeaderSize + plen
+	sum := crc32.ChecksumIEEE(data[blockOff:end])
+	binary.LittleEndian.PutUint32(data[end:], sum)
+}
+
+func TestCorruptBlockStrict(t *testing.T) {
+	good := encodeTraces(t)
+	offs := blockOffsets(t, good)
+	day3 := offs[0]
+	plen := int(binary.LittleEndian.Uint32(good[day3+12 : day3+16]))
+
+	cases := []struct {
+		name   string
+		mutate func([]byte)
+		want   error
+	}{
+		{"payload bit flip", func(b []byte) { b[day3+blockHeaderSize+2] ^= 0x40 }, ErrChecksum},
+		{"header count blown up", func(b []byte) { b[day3+11] ^= 0x40 }, ErrCorrupt}, // countB outgrows the payload bounds
+		{"header small flip", func(b []byte) { b[day3+4] ^= 0x01 }, ErrChecksum},     // countA off by one, caught by the CRC
+		{"non-canonical visit word", func(b []byte) {
+			// Highest byte of the last pack word (little-endian): set bit 31.
+			b[day3+blockHeaderSize+plen-1] |= 0x80
+			recrc(b, day3)
+		}, ErrCorrupt},
+		{"truncated tail", func(b []byte) {}, ErrTruncated}, // handled below by slicing
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := append([]byte(nil), good...)
+			c.mutate(data)
+			if c.want == ErrTruncated {
+				data = data[:day3+blockHeaderSize+3]
+			}
+			_, _, _, err := readAllTraces(t, data, Options{Name: "t.col"})
+			if !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+			var be *BlockError
+			if !errors.As(err, &be) {
+				t.Fatalf("err %T is not a *BlockError", err)
+			}
+			if be.Offset != int64(day3) {
+				t.Fatalf("error offset %d, want block start %d", be.Offset, day3)
+			}
+		})
+	}
+}
+
+func TestCorruptBlockLenient(t *testing.T) {
+	good := encodeTraces(t)
+	offs := blockOffsets(t, good)
+	fix := traceFixture()
+
+	for _, c := range []struct {
+		name   string
+		mutate func([]byte)
+	}{
+		{"payload bit flip", func(b []byte) { b[offs[0]+blockHeaderSize+2] ^= 0x40 }},
+		{"non-canonical visit word", func(b []byte) {
+			plen := int(binary.LittleEndian.Uint32(b[offs[0]+12 : offs[0]+16]))
+			b[offs[0]+blockHeaderSize+plen-1] |= 0x80
+			recrc(b, offs[0])
+		}},
+		{"header bit flip", func(b []byte) { b[offs[0]+4] ^= 0x01 }},          // caught by CRC, skip to next block
+		{"header count blown up resync", func(b []byte) { b[offs[0]+11] ^= 0x40 }}, // bounds reject; resync via payload length
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			data := append([]byte(nil), good...)
+			c.mutate(data)
+			var skips []int
+			opt := Options{Name: "t.col", Lenient: true, OnSkip: func(name string, off int, err error) {
+				if name != "t.col" {
+					t.Errorf("OnSkip name %q", name)
+				}
+				skips = append(skips, off)
+			}}
+			got, order, r, err := readAllTraces(t, data, opt)
+			if err != nil {
+				t.Fatalf("lenient replay failed: %v", err)
+			}
+			if len(order) != 2 || order[0] != 4 || order[1] != 5 {
+				t.Fatalf("days read = %v, want [4 5]", order)
+			}
+			sameTraces(t, 5, got[5], fix[5])
+			if r.Skipped() != 1 {
+				t.Fatalf("Skipped() = %d, want 1", r.Skipped())
+			}
+			if len(skips) != 1 || skips[0] != offs[0] {
+				t.Fatalf("OnSkip offsets %v, want [%d]", skips, offs[0])
+			}
+		})
+	}
+}
+
+func TestTruncatedTailLenient(t *testing.T) {
+	good := encodeTraces(t)
+	offs := blockOffsets(t, good)
+	// Cut mid-way through the last block's payload.
+	data := append([]byte(nil), good[:offs[2]+blockHeaderSize+5]...)
+	got, order, r, err := readAllTraces(t, data, Options{Lenient: true})
+	if err != nil {
+		t.Fatalf("lenient replay failed: %v", err)
+	}
+	if len(order) != 2 || order[0] != 3 || order[1] != 4 {
+		t.Fatalf("days read = %v, want [3 4]", order)
+	}
+	sameTraces(t, 3, got[3], traceFixture()[3])
+	if r.Skipped() != 1 {
+		t.Fatalf("Skipped() = %d, want 1", r.Skipped())
+	}
+}
+
+func TestKPICorruptLenient(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewKPIWriter(&buf)
+	fix := kpiFixture()
+	for _, d := range kpiDays {
+		if err := w.WriteDay(d, fix[d]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := buf.Bytes()
+	offs := blockOffsets(t, data)
+	data[offs[0]+blockHeaderSize] ^= 0xFF
+
+	r, err := NewKPIReaderOpts(bytes.NewReader(data), Options{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day, cells, err := r.ReadDayAppend(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if day != 11 || len(cells) != 1 || r.Skipped() != 1 {
+		t.Fatalf("day=%d cells=%d skipped=%d, want 11/1/1", day, len(cells), r.Skipped())
+	}
+	// Strict mode on the same bytes fails with offset context instead.
+	rs, err := NewKPIReaderOpts(bytes.NewReader(data), Options{Name: "k.col"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = rs.ReadDayAppend(nil)
+	var be *BlockError
+	if !errors.As(err, &be) || be.Offset != int64(offs[0]) || !errors.Is(err, ErrChecksum) {
+		t.Fatalf("strict err = %v, want checksum BlockError at %d", err, offs[0])
+	}
+}
+
+// TestTraceReadSteadyStateAllocs pins the tentpole guarantee: a warm
+// reader refilling a warm DayBuffer decodes a day block with zero heap
+// allocations — the property that lets columnar replay keep up with the
+// zero-alloc simulation path it feeds.
+func TestTraceReadSteadyStateAllocs(t *testing.T) {
+	data := encodeTraces(t)
+	br := bytes.NewReader(data)
+	r, err := NewTraceReader(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := mobsim.NewDayBuffer()
+	warm := func() {
+		br.Reset(data)
+		if err := r.Reset(br); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := r.ReadDayInto(buf); err == io.EOF {
+				return
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			buf.Traces()
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(10, warm)
+	if allocs > 0 {
+		t.Errorf("steady-state columnar trace replay allocates %.1f times per feed, want 0", allocs)
+	}
+}
+
+// TestKPIReadSteadyStateAllocs pins the same guarantee for the KPI
+// reader with a reused destination slice.
+func TestKPIReadSteadyStateAllocs(t *testing.T) {
+	var w bytes.Buffer
+	kw := NewKPIWriter(&w)
+	fix := kpiFixture()
+	for _, d := range kpiDays {
+		if err := kw.WriteDay(d, fix[d]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := w.Bytes()
+	br := bytes.NewReader(data)
+	r, err := NewKPIReader(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []traffic.CellDay
+	warm := func() {
+		br.Reset(data)
+		if err := r.Reset(br); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			_, out, err := r.ReadDayAppend(cells[:0])
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells = out
+		}
+	}
+	warm()
+	allocs := testing.AllocsPerRun(10, warm)
+	if allocs > 0 {
+		t.Errorf("steady-state columnar KPI replay allocates %.1f times per feed, want 0", allocs)
+	}
+}
+
+// TestHugeClaimedPayload pins the fuzz-hardening bound: a block header
+// claiming a multi-gigabyte payload on a tiny file must fail fast at
+// EOF (with a truncation error), not attempt the full allocation.
+func TestHugeClaimedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	hdr := make([]byte, blockHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[4:8], 1<<20)       // 1M users
+	binary.LittleEndian.PutUint32(hdr[8:12], 1<<26)      // 67M visits
+	binary.LittleEndian.PutUint32(hdr[12:16], 545259520) // ~520 MiB claimed, within header bounds
+	buf.Write(hdr)
+	buf.WriteString("short")
+	_, _, _, err := readAllTraces(t, buf.Bytes(), Options{})
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want truncation", err)
+	}
+}

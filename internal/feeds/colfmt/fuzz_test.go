@@ -1,0 +1,103 @@
+package colfmt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/mobsim"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// FuzzColReadDay feeds arbitrary bytes to both columnar readers in both
+// failure modes and pins the reliability contract: never panic, never
+// loop forever, and every failure is either io.EOF, a header error at
+// offset 0, or a typed *BlockError carrying file:offset context. Seeds
+// cover valid feeds of both kinds plus structured near-misses.
+func FuzzColReadDay(f *testing.F) {
+	var tb bytes.Buffer
+	tw := NewTraceWriter(&tb)
+	tw.WriteDay(3, []mobsim.DayTrace{
+		{User: 5, Visits: []mobsim.Visit{mkVisit(9, 1, 300, true), mkVisit(2, 4, 86400, false)}},
+		{User: 2, Visits: []mobsim.Visit{mkVisit(0, 0, 0, false)}},
+	})
+	tw.WriteDay(4, nil)
+	f.Add(tb.Bytes())
+
+	var kb bytes.Buffer
+	kw := NewKPIWriter(&kb)
+	cell := traffic.CellDay{Cell: 7}
+	for m := 0; m < traffic.NumMetrics; m++ {
+		cell.Values[m] = 1.5 * float64(m)
+	}
+	kw.WriteDay(10, []traffic.CellDay{cell})
+	f.Add(kb.Bytes())
+
+	f.Add([]byte(Magic))
+	f.Add([]byte("MNOC\x01\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("MNOC\x01\x02\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"))
+	truncated := append([]byte(nil), tb.Bytes()...)
+	f.Add(truncated[:len(truncated)-6])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkErr := func(err error) {
+			if err == nil || err == io.EOF {
+				return
+			}
+			var be *BlockError
+			if !errors.As(err, &be) {
+				t.Fatalf("error %v (%T) is not a *BlockError", err, err)
+			}
+			if be.Offset < 0 || be.Offset > int64(len(data)) {
+				t.Fatalf("error offset %d outside the %d-byte input", be.Offset, len(data))
+			}
+		}
+		for _, lenient := range []bool{false, true} {
+			opt := Options{Name: "fuzz", Lenient: lenient}
+
+			tr, err := NewTraceReaderOpts(bytes.NewReader(data), opt)
+			checkErr(err)
+			if err == nil {
+				buf := mobsim.NewDayBuffer()
+				for i := 0; i <= len(data); i++ { // each read consumes ≥1 block header
+					day, rerr := tr.ReadDayInto(buf)
+					if rerr != nil {
+						checkErr(rerr)
+						break
+					}
+					// Whatever decodes must satisfy the invariants the CSV
+					// reader enforces per row.
+					_ = day
+					for _, trc := range buf.Traces() {
+						for _, v := range trc.Visits {
+							if int(v.Bin()) >= timegrid.BinsPerDay || v.Seconds() < 0 || v.Tower() < 0 {
+								t.Fatalf("decoded out-of-range visit %v", v)
+							}
+						}
+					}
+				}
+			}
+
+			kr, err := NewKPIReaderOpts(bytes.NewReader(data), opt)
+			checkErr(err)
+			if err == nil {
+				var cells []traffic.CellDay
+				for i := 0; i <= len(data); i++ {
+					_, out, rerr := kr.ReadDayAppend(cells[:0])
+					cells = out
+					if rerr != nil {
+						checkErr(rerr)
+						break
+					}
+					for i := range cells {
+						if cells[i].Cell < 0 {
+							t.Fatalf("decoded negative cell ID %d", cells[i].Cell)
+						}
+					}
+				}
+			}
+		}
+	})
+}

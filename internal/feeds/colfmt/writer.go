@@ -1,0 +1,193 @@
+package colfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/mobsim"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// fileHeader assembles the 16-byte file header.
+func fileHeader(kind byte, userLo, userHi uint32) [fileHeaderSize]byte {
+	var h [fileHeaderSize]byte
+	copy(h[:4], Magic)
+	h[4] = Version
+	h[5] = kind
+	binary.LittleEndian.PutUint32(h[8:12], userLo)
+	binary.LittleEndian.PutUint32(h[12:16], userHi)
+	return h
+}
+
+// blockStart appends a block header placeholder and returns the buffer;
+// the counts and payload length are patched in by finishBlock.
+func blockStart(b []byte, day timegrid.SimDay) ([]byte, error) {
+	if int64(day) < math.MinInt32 || int64(day) > math.MaxInt32 {
+		return b, fmt.Errorf("colfmt: day %d does not fit the int32 day field", day)
+	}
+	b = b[:0]
+	b = append(b, make([]byte, blockHeaderSize)...)
+	binary.LittleEndian.PutUint32(b[0:4], uint32(int32(day)))
+	return b, nil
+}
+
+// finishBlock patches the header counts, appends the CRC footer and
+// writes the block.
+func finishBlock(w io.Writer, b []byte, countA, countB int) (int, error) {
+	if countA > math.MaxUint32 || countB > math.MaxUint32 {
+		return 0, fmt.Errorf("colfmt: block counts %d/%d overflow uint32", countA, countB)
+	}
+	binary.LittleEndian.PutUint32(b[4:8], uint32(countA))
+	binary.LittleEndian.PutUint32(b[8:12], uint32(countB))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(len(b)-blockHeaderSize))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+	n, err := w.Write(b)
+	return n, err
+}
+
+// TraceWriter streams day traces as columnar day blocks. The file
+// header goes out with the first day (or Flush, so an empty feed is
+// still a valid file); one WriteDay is one block.
+type TraceWriter struct {
+	w       io.Writer
+	started bool
+	lo, hi  uint32
+	buf     []byte
+}
+
+// NewTraceWriter returns a writer for an unpartitioned trace feed.
+func NewTraceWriter(w io.Writer) *TraceWriter { return &TraceWriter{w: w} }
+
+// NewTraceWriterRange returns a writer stamping the partition shard's
+// user range [lo, hi] into the file header.
+func NewTraceWriterRange(w io.Writer, lo, hi uint32) *TraceWriter {
+	return &TraceWriter{w: w, lo: lo, hi: hi}
+}
+
+func (t *TraceWriter) header() error {
+	if t.started {
+		return nil
+	}
+	h := fileHeader(KindTraces, t.lo, t.hi)
+	if _, err := t.w.Write(h[:]); err != nil {
+		return err
+	}
+	t.started = true
+	return nil
+}
+
+// WriteDay appends one day block. An empty trace slice still writes a
+// block: partition shards keep every day present so the replay day
+// cursor stays aligned with the KPI and event feeds.
+func (t *TraceWriter) WriteDay(day timegrid.SimDay, traces []mobsim.DayTrace) error {
+	if err := t.header(); err != nil {
+		return err
+	}
+	b, err := blockStart(t.buf, day)
+	if err != nil {
+		return err
+	}
+	// User ID column: absolute first, zig-zag deltas after.
+	prev := int64(0)
+	for i := range traces {
+		u := int64(traces[i].User)
+		if i == 0 {
+			b = binary.AppendUvarint(b, uint64(u))
+		} else {
+			b = binary.AppendVarint(b, u-prev)
+		}
+		prev = u
+	}
+	// Per-user visit counts (the offset deltas).
+	visits := 0
+	for i := range traces {
+		b = binary.AppendUvarint(b, uint64(len(traces[i].Visits)))
+		visits += len(traces[i].Visits)
+	}
+	// Tower column, then the packed seconds|bin|residence column — the
+	// two Visit words verbatim.
+	for i := range traces {
+		for _, v := range traces[i].Visits {
+			tower, _ := v.Words()
+			b = binary.LittleEndian.AppendUint32(b, tower)
+		}
+	}
+	for i := range traces {
+		for _, v := range traces[i].Visits {
+			_, pack := v.Words()
+			b = binary.LittleEndian.AppendUint32(b, pack)
+		}
+	}
+	_, err = finishBlock(t.w, b, len(traces), visits)
+	t.buf = b[:0]
+	return err
+}
+
+// Flush finalizes the file, writing the header if no day has been
+// written yet. (Blocks are written eagerly; there is nothing buffered.)
+func (t *TraceWriter) Flush() error { return t.header() }
+
+// KPIWriter streams per-cell daily KPI records as columnar day blocks.
+type KPIWriter struct {
+	w       io.Writer
+	started bool
+	buf     []byte
+}
+
+// NewKPIWriter returns a writer; the file header goes out with the
+// first day (or Flush).
+func NewKPIWriter(w io.Writer) *KPIWriter { return &KPIWriter{w: w} }
+
+func (k *KPIWriter) header() error {
+	if k.started {
+		return nil
+	}
+	h := fileHeader(KindKPI, 0, 0)
+	if _, err := k.w.Write(h[:]); err != nil {
+		return err
+	}
+	k.started = true
+	return nil
+}
+
+// WriteDay appends one day of cell records as a block.
+func (k *KPIWriter) WriteDay(day timegrid.SimDay, cells []traffic.CellDay) error {
+	if err := k.header(); err != nil {
+		return err
+	}
+	b, err := blockStart(k.buf, day)
+	if err != nil {
+		return err
+	}
+	// Cell ID column: absolute first, zig-zag deltas after.
+	prev := int64(0)
+	for i := range cells {
+		c := int64(cells[i].Cell)
+		if c < 0 || c > math.MaxInt32 {
+			return fmt.Errorf("colfmt: cell ID %d out of range [0,%d]", c, math.MaxInt32)
+		}
+		if i == 0 {
+			b = binary.AppendUvarint(b, uint64(c))
+		} else {
+			b = binary.AppendVarint(b, c-prev)
+		}
+		prev = c
+	}
+	// One column per metric, cells in row order, raw float64 bits.
+	for m := 0; m < traffic.NumMetrics; m++ {
+		for i := range cells {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(cells[i].Values[m]))
+		}
+	}
+	_, err = finishBlock(k.w, b, len(cells), traffic.NumMetrics)
+	k.buf = b[:0]
+	return err
+}
+
+// Flush finalizes the file, writing the header if no day has been
+// written yet.
+func (k *KPIWriter) Flush() error { return k.header() }

@@ -1,0 +1,161 @@
+package feeds
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/feeds/colfmt"
+	"repro/internal/mobsim"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// traceDayWriter and kpiDayWriter are the day-granular encoding
+// surfaces shared by the CSV and columnar writers.
+type traceDayWriter interface {
+	WriteDay(day timegrid.SimDay, traces []mobsim.DayTrace) error
+	Flush() error
+}
+
+type kpiDayWriter interface {
+	WriteDay(day timegrid.SimDay, cells []traffic.CellDay) error
+	Flush() error
+}
+
+// feedFileNames returns the trace and KPI file names for a format.
+func feedFileNames(format string) (traces, kpi string, err error) {
+	switch format {
+	case FormatCSV:
+		return TraceFeedName, KPIFeedName, nil
+	case FormatCol:
+		return TraceColFeedName, KPIColFeedName, nil
+	default:
+		return "", "", fmt.Errorf("feeds: unknown feed format %q (want %q or %q)", format, FormatCSV, FormatCol)
+	}
+}
+
+// ConvertDir re-encodes the feed directory in into out using the given
+// format (FormatCSV or FormatCol). The input format of each file is
+// auto-detected, so the call converts in either direction (or
+// re-encodes in place semantics aside). Trace and KPI feeds are
+// re-encoded day by day with bounded memory; the event feed (always
+// CSV) and nothing else is copied verbatim; the meta sidecar, when
+// present, is carried over with Format/FormatVersion updated. The
+// conversion is lossless: converting CSV → col → CSV reproduces the
+// original trace and KPI files byte for byte.
+//
+// opt applies to the *input* readers (strict by default; lenient
+// conversion salvages damaged feeds, dropping what cannot be decoded).
+func ConvertDir(in, out, format string, opt Options) error {
+	traceName, kpiName, err := feedFileNames(format)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	// Traces (required).
+	tr, tc, err := openTraceFeed(in, opt)
+	if err != nil {
+		return err
+	}
+	defer tc.Close()
+	tf, err := os.Create(filepath.Join(out, traceName))
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	var tw traceDayWriter
+	if format == FormatCol {
+		tw = colfmt.NewTraceWriter(tf)
+	} else {
+		tw = NewTraceWriter(tf)
+	}
+	buf := mobsim.NewDayBuffer()
+	for {
+		day, err := tr.ReadDayInto(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := tw.WriteDay(day, buf.Traces()); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// KPI cells (optional).
+	kr, kc, err := openKPIFeed(in, opt)
+	if err != nil {
+		return err
+	}
+	if kr != nil {
+		defer kc.Close()
+		kf, err := os.Create(filepath.Join(out, kpiName))
+		if err != nil {
+			return err
+		}
+		defer kf.Close()
+		var kw kpiDayWriter
+		if format == FormatCol {
+			kw = colfmt.NewKPIWriter(kf)
+		} else {
+			kw = NewKPIWriter(kf)
+		}
+		var cells []traffic.CellDay
+		for {
+			day, out, err := kr.ReadDayAppend(cells[:0])
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			cells = out
+			if err := kw.WriteDay(day, cells); err != nil {
+				return err
+			}
+		}
+		if err := kw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	// Events (optional, copied verbatim).
+	if src, err := os.Open(filepath.Join(in, EventFeedName)); err == nil {
+		defer src.Close()
+		dst, err := os.Create(filepath.Join(out, EventFeedName))
+		if err != nil {
+			return err
+		}
+		defer dst.Close()
+		if _, err := io.Copy(dst, src); err != nil {
+			return err
+		}
+	}
+
+	// Meta sidecar (optional, format columns refreshed).
+	m, ok, err := ReadMeta(in)
+	if err != nil {
+		return err
+	}
+	if ok {
+		m.Format = format
+		if format == FormatCol {
+			m.FormatVersion = colfmt.Version
+		} else {
+			m.FormatVersion = 0
+		}
+		if err := WriteMeta(out, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -5,8 +5,13 @@
 // can run the expensive simulation once with cmd/mnosim, persist the
 // feeds, and re-run analyses from disk.
 //
-// Formats are line-oriented CSV with a fixed header; all writers/readers
-// are streaming and never hold a full feed in memory.
+// Two interchange formats coexist: line-oriented CSV with a fixed
+// header (this file — the debuggable default) and the binary columnar
+// day-block format of the colfmt subpackage (the fast path at scale;
+// PERFORMANCE.md, "Columnar feeds"). ConvertDir translates between
+// them, and OpenDir auto-detects the format by sniffing magic bytes.
+// All writers/readers are streaming and never hold a full feed in
+// memory.
 //
 // Readers run in one of two modes (Options.Lenient; RELIABILITY.md has
 // the full contract): strict — the default — fails the replay on the
@@ -510,6 +515,16 @@ func (e *EventWriter) Consume(ev *signaling.Event) {
 		boolStr(ev.OK),
 	}
 	e.err = e.w.Write(rec)
+}
+
+// ensureHeader emits the CSV header even when no event has been
+// written, so an event-less file still parses as an empty feed (the
+// partitioner needs this for shards whose user range saw no events).
+func (e *EventWriter) ensureHeader() {
+	if e.err == nil && !e.started {
+		e.err = e.w.Write(eventHeader)
+		e.started = true
+	}
 }
 
 // Flush flushes buffered records and reports the first error seen.

@@ -23,9 +23,30 @@ type Meta struct {
 	// default, and feeds written before the column existed read back
 	// empty).
 	Scenario string
+	// Format is the feed file format of the directory (FormatCSV or
+	// FormatCol); empty for sidecars written before the column existed
+	// (always CSV in practice — replay auto-detects by magic bytes
+	// regardless).
+	Format string
+	// FormatVersion is the columnar format version (colfmt.Version)
+	// when Format is FormatCol; 0 otherwise.
+	FormatVersion int
+	// Part and Parts identify a partition shard: this directory is
+	// shard Part (0-based) of Parts. Both zero: unpartitioned.
+	Part, Parts int
+	// UserLo and UserHi bound (inclusive) the contiguous user ID range
+	// whose traces and events this shard holds; both zero when
+	// unpartitioned.
+	UserLo, UserHi uint32
 }
 
-var metaHeader = []string{"users", "seed", "scenario"}
+// Partitioned reports whether the sidecar describes a partition shard.
+func (m Meta) Partitioned() bool { return m.Parts > 0 }
+
+var metaHeader = []string{
+	"users", "seed", "scenario",
+	"format", "format_version", "part", "parts", "user_lo", "user_hi",
+}
 
 // WriteMeta persists the provenance sidecar into a feed directory.
 func WriteMeta(dir string, m Meta) error {
@@ -35,7 +56,12 @@ func WriteMeta(dir string, m Meta) error {
 	}
 	defer f.Close()
 	w := csv.NewWriter(f)
-	rows := [][]string{metaHeader, {strconv.Itoa(m.Users), strconv.FormatUint(m.Seed, 10), m.Scenario}}
+	rows := [][]string{metaHeader, {
+		strconv.Itoa(m.Users), strconv.FormatUint(m.Seed, 10), m.Scenario,
+		m.Format, strconv.Itoa(m.FormatVersion),
+		strconv.Itoa(m.Part), strconv.Itoa(m.Parts),
+		strconv.FormatUint(uint64(m.UserLo), 10), strconv.FormatUint(uint64(m.UserHi), 10),
+	}}
 	for _, rec := range rows {
 		if err := w.Write(rec); err != nil {
 			return err
@@ -47,8 +73,9 @@ func WriteMeta(dir string, m Meta) error {
 
 // ReadMeta loads the provenance sidecar; ok is false when the directory
 // has none (feeds written before the sidecar existed replay unchecked).
-// Sidecars without the scenario column (the pre-scenario format) read
-// back with an empty Scenario.
+// The header is matched as a prefix of the current schema, so sidecars
+// from before the scenario, format or partition columns existed read
+// back with those fields zero.
 func ReadMeta(dir string) (m Meta, ok bool, err error) {
 	f, err := os.Open(filepath.Join(dir, MetaFeedName))
 	if os.IsNotExist(err) {
@@ -84,6 +111,33 @@ func ReadMeta(dir string) (m Meta, ok bool, err error) {
 	m = Meta{Users: users, Seed: seed}
 	if len(rec) > 2 {
 		m.Scenario = rec[2]
+	}
+	if len(rec) > 3 {
+		m.Format = rec[3]
+	}
+	// The numeric tail columns arrived together; parse whichever are
+	// present.
+	for i, dst := range []*int{&m.FormatVersion, &m.Part, &m.Parts} {
+		col := 4 + i
+		if len(rec) <= col {
+			break
+		}
+		v, err := strconv.Atoi(rec[col])
+		if err != nil {
+			return Meta{}, false, fmt.Errorf("feeds: bad meta field %s=%q: %w", metaHeader[col], rec[col], err)
+		}
+		*dst = v
+	}
+	for i, dst := range []*uint32{&m.UserLo, &m.UserHi} {
+		col := 7 + i
+		if len(rec) <= col {
+			break
+		}
+		v, err := strconv.ParseUint(rec[col], 10, 32)
+		if err != nil {
+			return Meta{}, false, fmt.Errorf("feeds: bad meta field %s=%q: %w", metaHeader[col], rec[col], err)
+		}
+		*dst = uint32(v)
 	}
 	return m, true, nil
 }

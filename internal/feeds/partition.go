@@ -1,0 +1,251 @@
+package feeds
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/feeds/colfmt"
+	"repro/internal/mobsim"
+	"repro/internal/traffic"
+)
+
+// ShardDirName returns the conventional name of partition shard s
+// inside a partition output directory.
+func ShardDirName(s int) string { return fmt.Sprintf("shard-%02d", s) }
+
+// PartitionDir splits the feed directory in into parts shard
+// directories out/shard-00 … out/shard-NN for multi-process replay.
+// Users are partitioned into contiguous ID ranges (traces within a day
+// are ordered by ascending user ID, so concatenating shard outputs in
+// shard order restores the exact single-process fold order — the
+// property the partial-merge parity harness pins). Each shard receives:
+//
+//   - traces.col — the day traces of its user range. Every day block is
+//     written even when empty, so each shard's replay enumerates the
+//     same days and stays aligned with its KPI/event feeds.
+//   - kpi.col — the cell-day records of the cells congruent to the
+//     shard index mod parts (cells carry no user, and sketch merging is
+//     order-independent, so any disjoint covering assignment is exact).
+//   - events.csv — the control-plane events of its user range, with
+//     out-of-range users (the M2M/roamer background) clamped to the
+//     edge shards.
+//   - feed_meta.csv — the source provenance plus the partition columns
+//     (part, parts, user_lo, user_hi).
+//
+// The returned metas describe the shards in shard order. opt applies to
+// the input readers.
+func PartitionDir(in, out string, parts int, opt Options) ([]Meta, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("feeds: cannot partition into %d parts", parts)
+	}
+
+	// Pass 1: scan the trace feed for the user ID range. IDs are dense
+	// (popsim assigns them sequentially), so equal ID spans give
+	// near-equal shard populations.
+	lo, hi := uint32(math.MaxUint32), uint32(0)
+	seen := false
+	src, err := OpenDirOpts(in, opt)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		for i := range b.Traces {
+			u := uint32(b.Traces[i].User)
+			if !seen || u < lo {
+				lo = u
+			}
+			if !seen || u > hi {
+				hi = u
+			}
+			seen = true
+		}
+		b.Release()
+	}
+	src.Close()
+	if !seen {
+		return nil, fmt.Errorf("feeds: cannot partition %s: trace feed has no users", in)
+	}
+
+	span := uint64(hi-lo) + 1
+	ceil := func(a uint64) uint64 { return (a + uint64(parts) - 1) / uint64(parts) }
+	shardOf := func(u uint32) int {
+		switch {
+		case u <= lo:
+			return 0
+		case u >= hi:
+			return parts - 1
+		default:
+			return int(uint64(u-lo) * uint64(parts) / span)
+		}
+	}
+
+	srcMeta, _, err := ReadMeta(in)
+	if err != nil {
+		return nil, err
+	}
+	metas := make([]Meta, parts)
+	for s := 0; s < parts; s++ {
+		m := srcMeta
+		m.Format, m.FormatVersion = FormatCol, colfmt.Version
+		m.Part, m.Parts = s, parts
+		m.UserLo = lo + uint32(ceil(uint64(s)*span))
+		m.UserHi = lo + uint32(ceil(uint64(s+1)*span)) - 1
+		metas[s] = m
+	}
+
+	// Pass 2: route every record to its shard.
+	src, err = OpenDirOpts(in, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+
+	type shardOut struct {
+		files  []*os.File
+		traces *colfmt.TraceWriter
+		kpi    *colfmt.KPIWriter
+		events *EventWriter
+	}
+	outs := make([]*shardOut, parts)
+	var fail error
+	closeAll := func() {
+		for _, o := range outs {
+			if o == nil {
+				continue
+			}
+			for _, f := range o.files {
+				f.Close()
+			}
+		}
+	}
+	create := func(dir, name string) *os.File {
+		if fail != nil {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			fail = err
+		}
+		return f
+	}
+	for s := 0; s < parts; s++ {
+		dir := filepath.Join(out, ShardDirName(s))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			closeAll()
+			return nil, err
+		}
+		o := &shardOut{}
+		if tf := create(dir, TraceColFeedName); tf != nil {
+			o.files = append(o.files, tf)
+			o.traces = colfmt.NewTraceWriterRange(tf, metas[s].UserLo, metas[s].UserHi)
+		}
+		if src.kpi != nil {
+			if kf := create(dir, KPIColFeedName); kf != nil {
+				o.files = append(o.files, kf)
+				o.kpi = colfmt.NewKPIWriter(kf)
+			}
+		}
+		if src.events != nil {
+			if ef := create(dir, EventFeedName); ef != nil {
+				o.files = append(o.files, ef)
+				o.events = NewEventWriter(ef)
+			}
+		}
+		outs[s] = o
+		if fail != nil {
+			closeAll()
+			return nil, fail
+		}
+	}
+
+	traceBuckets := make([][]mobsim.DayTrace, parts)
+	cellBuckets := make([][]traffic.CellDay, parts)
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		for s := range traceBuckets {
+			traceBuckets[s] = traceBuckets[s][:0]
+			cellBuckets[s] = cellBuckets[s][:0]
+		}
+		for i := range b.Traces {
+			s := shardOf(uint32(b.Traces[i].User))
+			traceBuckets[s] = append(traceBuckets[s], b.Traces[i])
+		}
+		for i := range b.Cells {
+			s := int(uint64(b.Cells[i].Cell) % uint64(parts))
+			cellBuckets[s] = append(cellBuckets[s], b.Cells[i])
+		}
+		for s, o := range outs {
+			// Trace day blocks are written unconditionally (even empty) to
+			// keep every shard's day cursor aligned.
+			if err := o.traces.WriteDay(b.Day, traceBuckets[s]); err != nil {
+				fail = err
+			}
+			if o.kpi != nil && len(cellBuckets[s]) > 0 {
+				if err := o.kpi.WriteDay(b.Day, cellBuckets[s]); err != nil {
+					fail = err
+				}
+			}
+			if o.events != nil {
+				for i := range b.Events {
+					if shardOf(uint32(b.Events[i].User)) == s {
+						o.events.Consume(&b.Events[i])
+					}
+				}
+			}
+		}
+		b.Release()
+		if fail != nil {
+			closeAll()
+			return nil, fail
+		}
+	}
+
+	for s, o := range outs {
+		if err := o.traces.Flush(); err != nil && fail == nil {
+			fail = err
+		}
+		if o.kpi != nil {
+			if err := o.kpi.Flush(); err != nil && fail == nil {
+				fail = err
+			}
+		}
+		if o.events != nil {
+			o.events.ensureHeader()
+			if err := o.events.Flush(); err != nil && fail == nil {
+				fail = err
+			}
+		}
+		for _, f := range o.files {
+			if err := f.Close(); err != nil && fail == nil {
+				fail = err
+			}
+		}
+		if fail == nil {
+			if err := WriteMeta(filepath.Join(out, ShardDirName(s)), metas[s]); err != nil {
+				fail = err
+			}
+		}
+	}
+	if fail != nil {
+		return nil, fail
+	}
+	return metas, nil
+}

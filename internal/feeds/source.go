@@ -1,6 +1,7 @@
 package feeds
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/feeds/colfmt"
 	"repro/internal/mobsim"
 	"repro/internal/signaling"
 	"repro/internal/stream"
@@ -15,12 +17,45 @@ import (
 	"repro/internal/traffic"
 )
 
-// Feed file names inside a feed directory, as written by `mnosim -raw`.
+// Feed file names inside a feed directory, as written by `mnosim -raw`
+// (CSV) and `mnosim -raw -format=col` / `feedconv` (columnar). Events
+// are always CSV: the event feed is small and line-oriented.
 const (
-	TraceFeedName = "traces.csv"
-	KPIFeedName   = "kpi.csv"
-	EventFeedName = "events.csv"
+	TraceFeedName    = "traces.csv"
+	KPIFeedName      = "kpi.csv"
+	EventFeedName    = "events.csv"
+	TraceColFeedName = "traces.col"
+	KPIColFeedName   = "kpi.col"
 )
+
+// Feed directory formats, recorded in the meta sidecar and accepted by
+// ConvertDir.
+const (
+	FormatCSV = "csv"
+	FormatCol = "col"
+)
+
+// TraceDayReader is the day-granular trace decoding surface FeedSource
+// replays from; the CSV TraceReader and the columnar
+// colfmt.TraceReader both satisfy it.
+type TraceDayReader interface {
+	ReadDayInto(buf *mobsim.DayBuffer) (timegrid.SimDay, error)
+	Skipped() int64
+}
+
+// KPIDayReader is the day-granular KPI decoding surface FeedSource
+// replays from; the CSV KPIReader and the columnar colfmt.KPIReader
+// both satisfy it.
+type KPIDayReader interface {
+	ReadDayAppend(dst []traffic.CellDay) (timegrid.SimDay, []traffic.CellDay, error)
+	Skipped() int64
+}
+
+// colOptions translates reader options for the columnar decoders; the
+// OnSkip hook is shared, with the block byte offset in the line slot.
+func colOptions(o Options) colfmt.Options {
+	return colfmt.Options{Name: o.Name, Lenient: o.Lenient, OnSkip: o.OnSkip}
+}
 
 // feedPoolSize bounds the recycled per-day backing stores a FeedSource
 // keeps. It covers the deepest pipeline the package is used with (a
@@ -56,8 +91,9 @@ func (r *feedDayRes) Recycle(gen uint64) {
 	}
 }
 
-// FeedSource replays persisted CSV feeds as day batches for the
-// streaming engine (stream.Source). The trace feed drives the day
+// FeedSource replays persisted feeds — CSV or columnar day blocks
+// (colfmt), auto-detected per file — as day batches for the streaming
+// engine (stream.Source). The trace feed drives the day
 // cursor; per-cell KPI records and control-plane events for the same day
 // are attached when their feeds are present. All readers are streaming:
 // one day of records is held at a time.
@@ -66,8 +102,8 @@ func (r *feedDayRes) Recycle(gen uint64) {
 // each batch when done (stream.Engine.Run does, after the merge stage)
 // replay the whole feed with a bounded number of live buffers.
 type FeedSource struct {
-	traces *TraceReader
-	kpi    *KPIReader
+	traces TraceDayReader
+	kpi    KPIDayReader
 	events *EventReader
 
 	free     chan *feedDayRes
@@ -87,9 +123,9 @@ type FeedSource struct {
 	closers []io.Closer
 }
 
-// NewFeedSource combines open readers into a source; kpi and events may
-// be nil.
-func NewFeedSource(traces *TraceReader, kpi *KPIReader, events *EventReader) *FeedSource {
+// NewFeedSource combines open day readers (CSV or columnar) into a
+// source; kpi and events may be nil.
+func NewFeedSource(traces TraceDayReader, kpi KPIDayReader, events *EventReader) *FeedSource {
 	return &FeedSource{traces: traces, kpi: kpi, events: events,
 		free:          make(chan *feedDayRes, feedPoolSize),
 		pendingKPIDay: -1, kpiDone: kpi == nil, eventsDone: events == nil}
@@ -108,40 +144,35 @@ func OpenDir(dir string) (*FeedSource, error) {
 	return OpenDirOpts(dir, Options{})
 }
 
-// OpenDirOpts opens a feed directory: traces.csv is required, kpi.csv
-// and events.csv are attached when present. Each reader gets opt with
-// Name set to the file's path, so row errors and OnSkip calls carry
-// file:line context. Close the source when done.
+// OpenDirOpts opens a feed directory: a trace feed (traces.col or
+// traces.csv) is required, KPI and event feeds are attached when
+// present. The format of each file is auto-detected by sniffing its
+// leading bytes for the columnar magic, so extension and content may
+// disagree without breaking replay. Each reader gets opt with Name set
+// to the file's path, so row/block errors and OnSkip calls carry
+// file:line (CSV) or file:offset (columnar) context. Close the source
+// when done.
 func OpenDirOpts(dir string, opt Options) (*FeedSource, error) {
-	named := func(name string) Options {
-		o := opt
-		o.Name = filepath.Join(dir, name)
-		return o
-	}
-	tf, err := os.Open(filepath.Join(dir, TraceFeedName))
+	tr, tc, err := openTraceFeed(dir, opt)
 	if err != nil {
-		return nil, fmt.Errorf("feeds: opening trace feed: %w", err)
-	}
-	tr, err := NewTraceReaderOpts(tf, named(TraceFeedName))
-	if err != nil {
-		tf.Close()
 		return nil, err
 	}
 	s := NewFeedSource(tr, nil, nil)
-	s.closers = append(s.closers, tf)
+	s.closers = append(s.closers, tc)
 
-	if kf, err := os.Open(filepath.Join(dir, KPIFeedName)); err == nil {
-		kr, err := NewKPIReaderOpts(kf, named(KPIFeedName))
-		if err != nil {
-			s.Close()
-			kf.Close()
-			return nil, err
-		}
+	kr, kc, err := openKPIFeed(dir, opt)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	if kr != nil {
 		s.kpi, s.kpiDone = kr, false
-		s.closers = append(s.closers, kf)
+		s.closers = append(s.closers, kc)
 	}
 	if ef, err := os.Open(filepath.Join(dir, EventFeedName)); err == nil {
-		er, err := NewEventReaderOpts(ef, named(EventFeedName))
+		o := opt
+		o.Name = filepath.Join(dir, EventFeedName)
+		er, err := NewEventReaderOpts(ef, o)
 		if err != nil {
 			s.Close()
 			ef.Close()
@@ -151,6 +182,69 @@ func OpenDirOpts(dir string, opt Options) (*FeedSource, error) {
 		s.closers = append(s.closers, ef)
 	}
 	return s, nil
+}
+
+// sniffCol reports whether the file opens with the columnar magic and
+// returns a reader that replays the sniffed bytes before the rest.
+func sniffCol(f *os.File) (io.Reader, bool) {
+	head := make([]byte, len(colfmt.Magic))
+	n, _ := io.ReadFull(f, head)
+	r := io.MultiReader(bytes.NewReader(head[:n]), f)
+	return r, n == len(colfmt.Magic) && string(head) == colfmt.Magic
+}
+
+// openTraceFeed opens the directory's trace feed, preferring the
+// columnar file name but deciding the decoder by content.
+func openTraceFeed(dir string, opt Options) (TraceDayReader, io.Closer, error) {
+	var lastErr error
+	for _, name := range []string{TraceColFeedName, TraceFeedName} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		o := opt
+		o.Name = filepath.Join(dir, name)
+		r, isCol := sniffCol(f)
+		var tr TraceDayReader
+		if isCol {
+			tr, err = colfmt.NewTraceReaderOpts(r, colOptions(o))
+		} else {
+			tr, err = NewTraceReaderOpts(r, o)
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return tr, f, nil
+	}
+	return nil, nil, fmt.Errorf("feeds: opening trace feed: %w", lastErr)
+}
+
+// openKPIFeed opens the directory's KPI feed if one exists (nil reader
+// when absent), deciding the decoder by content like openTraceFeed.
+func openKPIFeed(dir string, opt Options) (KPIDayReader, io.Closer, error) {
+	for _, name := range []string{KPIColFeedName, KPIFeedName} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		o := opt
+		o.Name = filepath.Join(dir, name)
+		r, isCol := sniffCol(f)
+		var kr KPIDayReader
+		if isCol {
+			kr, err = colfmt.NewKPIReaderOpts(r, colOptions(o))
+		} else {
+			kr, err = NewKPIReaderOpts(r, o)
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return kr, f, nil
+	}
+	return nil, nil, nil
 }
 
 // Close releases the underlying files.

@@ -85,6 +85,30 @@ func (v Visit) Seconds() int32 { return int32(v.pack & MaxVisitSeconds) }
 // residence (WiFi-offload territory for the traffic engine).
 func (v Visit) AtResidence() bool { return v.pack>>visitResShift&1 == 1 }
 
+// visitPackBits is the number of meaningful bits in the packed word:
+// seconds, bin and the residence flag. Bits above it must be zero for a
+// word pair to be a valid Visit encoding.
+const visitPackBits = visitResShift + 1
+
+// Words returns the visit's two packed 32-bit words — the tower index
+// and the seconds|bin|residence word — exactly as laid out in memory.
+// They are the unit of columnar serialization (internal/feeds/colfmt):
+// a feed can persist visits without decoding them and reload them with
+// VisitFromWords, bit-identically.
+func (v Visit) Words() (tower, pack uint32) { return v.tower, v.pack }
+
+// VisitFromWords reassembles a Visit from its packed words. ok is false
+// when the words are not a canonical encoding — a pack word with bits
+// set above the residence flag, or a tower outside the non-negative
+// TowerID range — so boundary-crossing decoders can reject corrupt
+// input instead of fabricating visits MakeVisit could never produce.
+func VisitFromWords(tower, pack uint32) (v Visit, ok bool) {
+	if pack>>visitPackBits != 0 || tower > 1<<31-1 {
+		return Visit{}, false
+	}
+	return Visit{tower: tower, pack: pack}, true
+}
+
 // String renders the visit for test failures and debugging.
 func (v Visit) String() string {
 	return fmt.Sprintf("Visit{Tower:%d Bin:%d Seconds:%d AtResidence:%t}",

@@ -87,3 +87,51 @@ func TestMakeVisitRejectsUnrepresentable(t *testing.T) {
 		})
 	}
 }
+
+// TestVisitWordsRoundTrip pins the columnar-serialization contract:
+// Words exposes exactly the packed layout, VisitFromWords accepts every
+// word pair a real Visit can produce, and the reassembled value is
+// bit-identical to the original.
+func TestVisitWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		v := MakeVisit(
+			radio.TowerID(rng.Int31()),
+			timegrid.Bin(rng.Intn(MaxVisitBin+1)),
+			rng.Int31n(MaxVisitSeconds+1),
+			rng.Intn(2) == 1,
+		)
+		tower, pack := v.Words()
+		got, ok := VisitFromWords(tower, pack)
+		if !ok {
+			t.Fatalf("VisitFromWords rejected words of %v", v)
+		}
+		if got != v {
+			t.Fatalf("VisitFromWords(%d, %d) = %v, want %v", tower, pack, got, v)
+		}
+	}
+}
+
+// TestVisitFromWordsRejectsNonCanonical pins rejection of word pairs no
+// MakeVisit call can produce: stray bits above the residence flag and
+// towers outside the signed TowerID range. Accepting them would let a
+// corrupt columnar block fabricate visits the rest of the pipeline
+// assumes impossible.
+func TestVisitFromWordsRejectsNonCanonical(t *testing.T) {
+	good := MakeVisit(7, 3, 1200, true)
+	tower, pack := good.Words()
+	cases := []struct {
+		name        string
+		tower, pack uint32
+	}{
+		{"stray bit 30", tower, pack | 1<<30},
+		{"stray bit 31", tower, pack | 1<<31},
+		{"tower sign bit", 1 << 31, pack},
+		{"tower max+1", 1<<31 + 5, pack},
+	}
+	for _, c := range cases {
+		if _, ok := VisitFromWords(c.tower, c.pack); ok {
+			t.Errorf("%s: VisitFromWords(%d, %d) accepted a non-canonical encoding", c.name, c.tower, c.pack)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package partial
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteFile persists a Partial as JSON. Go's encoder emits the shortest
+// float64 representation that round-trips exactly, so reading the file
+// back reproduces every metric bit for bit.
+func WriteFile(path string, p *Partial) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(p); err != nil {
+		f.Close()
+		return fmt.Errorf("partial: encoding %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadFile loads a Partial written by WriteFile, rejecting unsupported
+// schema versions.
+func ReadFile(path string) (*Partial, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var p Partial
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("partial: decoding %s: %w", path, err)
+	}
+	if p.Version != Version {
+		return nil, fmt.Errorf("partial: %s has version %d (this build reads %d)", path, p.Version, Version)
+	}
+	return &p, nil
+}

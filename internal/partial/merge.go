@@ -1,0 +1,159 @@
+package partial
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stream"
+	"repro/internal/timegrid"
+	"repro/internal/traffic"
+)
+
+// EventTotals is one day of merged control-plane counts.
+type EventTotals struct {
+	Day      timegrid.SimDay
+	Events   int64
+	Failures int64
+}
+
+// Result is the merged output of a complete set of partials: the same
+// rows a single process replaying the whole feed would produce.
+type Result struct {
+	Users    int
+	Seed     uint64
+	Scenario string
+
+	// Mobility has one row per replayed day; KPI only the days that saw
+	// cells (matching stream.KPIMedians); Events one row per day.
+	Mobility []stream.MobilityDay
+	KPI      []stream.KPIDay
+	Events   []EventTotals
+}
+
+// Merge folds partials into the single-process result. It accepts
+// either one unpartitioned partial or the complete shard set of one
+// partitioned run (every Part 0..Parts-1 exactly once, disjoint user
+// ranges, identical day sequences and provenance).
+//
+// Mobility averages are bit-identical to a single-process replay: the
+// per-user metrics are re-folded in ascending user-range order, which
+// is the single process's trace order. KPI medians are bit-identical
+// because sketch bin counts add exactly. Event totals are integer sums.
+func Merge(parts []*Partial) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("partial: nothing to merge")
+	}
+	for _, p := range parts {
+		if p.Version != Version {
+			return nil, fmt.Errorf("partial: version %d not supported (this build reads %d)", p.Version, Version)
+		}
+	}
+	ref := parts[0]
+	for _, p := range parts[1:] {
+		if p.Users != ref.Users || p.Seed != ref.Seed || p.Scenario != ref.Scenario {
+			return nil, fmt.Errorf("partial: mixed provenance: (users=%d seed=%d scenario=%q) vs (users=%d seed=%d scenario=%q)",
+				ref.Users, ref.Seed, ref.Scenario, p.Users, p.Seed, p.Scenario)
+		}
+	}
+
+	if len(parts) > 1 || ref.Partitioned() {
+		for _, p := range parts {
+			if p.Parts != len(parts) {
+				return nil, fmt.Errorf("partial: part %d/%d merged with %d partials; need the complete shard set", p.Part, p.Parts, len(parts))
+			}
+		}
+		sort.Slice(parts, func(i, j int) bool { return parts[i].Part < parts[j].Part })
+		for s, p := range parts {
+			if p.Part != s {
+				return nil, fmt.Errorf("partial: shard set has no part %d (found part %d)", s, p.Part)
+			}
+			if s > 0 && p.UserLo <= parts[s-1].UserHi {
+				return nil, fmt.Errorf("partial: parts %d and %d have overlapping user ranges", s-1, s)
+			}
+		}
+	}
+
+	days := len(ref.Days)
+	for _, p := range parts {
+		if len(p.Days) != days {
+			return nil, fmt.Errorf("partial: part %d replayed %d days, part %d replayed %d", ref.Part, days, p.Part, len(p.Days))
+		}
+		for j := range p.Days {
+			if p.Days[j].Day != ref.Days[j].Day {
+				return nil, fmt.Errorf("partial: day sequences diverge at index %d: %d vs %d", j, ref.Days[j].Day, p.Days[j].Day)
+			}
+			d := &p.Days[j]
+			if len(d.Users) != len(d.Entropy) || len(d.Users) != len(d.Gyration) {
+				return nil, fmt.Errorf("partial: part %d day %d: ragged metric columns", p.Part, d.Day)
+			}
+			if d.Cells > 0 && len(d.Sketches) != traffic.NumMetrics {
+				return nil, fmt.Errorf("partial: part %d day %d: %d sketches, want %d", p.Part, d.Day, len(d.Sketches), traffic.NumMetrics)
+			}
+		}
+	}
+
+	res := &Result{Users: ref.Users, Seed: ref.Seed, Scenario: ref.Scenario}
+	merged := make([]*stream.QSketch, traffic.NumMetrics)
+	for j := 0; j < days; j++ {
+		day := ref.Days[j].Day
+
+		// Mobility: sequential fold in shard (== user-range == single
+		// process trace) order.
+		var e, g float64
+		n := 0
+		for _, p := range parts {
+			d := &p.Days[j]
+			for i := range d.Entropy {
+				e += d.Entropy[i]
+				g += d.Gyration[i]
+				n++
+			}
+		}
+		row := stream.MobilityDay{Day: day, Users: n}
+		if n > 0 {
+			row.AvgEntropy = e / float64(n)
+			row.AvgGyration = g / float64(n)
+		}
+		res.Mobility = append(res.Mobility, row)
+
+		// KPI: exact sketch merge.
+		cells := 0
+		for m := range merged {
+			merged[m] = nil
+		}
+		for _, p := range parts {
+			d := &p.Days[j]
+			if d.Cells == 0 {
+				continue
+			}
+			cells += d.Cells
+			for m := range merged {
+				q, err := stream.QSketchFromState(d.Sketches[m])
+				if err != nil {
+					return nil, fmt.Errorf("partial: part %d day %d metric %d: %w", p.Part, day, m, err)
+				}
+				if merged[m] == nil {
+					merged[m] = q
+				} else {
+					merged[m].Merge(q)
+				}
+			}
+		}
+		if cells > 0 {
+			k := stream.KPIDay{Day: day, Cells: cells}
+			for m := range merged {
+				k.Medians[m] = merged[m].Median()
+			}
+			res.KPI = append(res.KPI, k)
+		}
+
+		// Control plane: integer sums.
+		ev := EventTotals{Day: day}
+		for _, p := range parts {
+			ev.Events += p.Days[j].Events
+			ev.Failures += p.Days[j].Failures
+		}
+		res.Events = append(res.Events, ev)
+	}
+	return res, nil
+}
